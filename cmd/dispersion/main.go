@@ -1,0 +1,67 @@
+// Command dispersion runs a dispersion process on a chosen graph family
+// and reports dispersion-time statistics.
+//
+// Usage:
+//
+//	dispersion -graph complete:256 -process par -trials 200 -seed 1
+//	dispersion -graph torus:16x16 -process seq -origin 0 -lazy
+//	dispersion -graph regular:512,4 -process ctu -trials 100
+//
+// Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
+// lollipop:N hair:N pimple:N,H treepath:LEVELS,PATHLEN grid:AxB torus:AxB
+// regular:N,D gnp:N,P tree:N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dispersion/internal/bench"
+	"dispersion/internal/core"
+	"dispersion/internal/stats"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "complete:128", "graph family spec (see package doc)")
+		process   = flag.String("process", "seq", "process: seq|par|unif|ctu|ctseq")
+		origin    = flag.Int("origin", 0, "origin vertex")
+		trials    = flag.Int("trials", 100, "number of independent trials")
+		seed      = flag.Uint64("seed", 1, "random seed (reproducible)")
+		lazy      = flag.Bool("lazy", false, "use lazy random walks")
+		quiet     = flag.Bool("q", false, "print only the mean dispersion time")
+	)
+	flag.Parse()
+
+	g, err := bench.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := bench.ParseProcess(*process)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.Options{Lazy: *lazy}
+	xs := bench.SampleDispersion(g, *origin, p, opt, *trials, *seed, 0xd15b)
+	s := stats.Summarize(xs)
+	if *quiet {
+		fmt.Printf("%.6g\n", s.Mean)
+		return
+	}
+	lo, hi := s.CI95()
+	fmt.Printf("graph        %s (n=%d, m=%d)\n", g.Name(), g.N(), g.M())
+	fmt.Printf("process      %s (lazy=%v), origin %d, %d trials, seed %d\n",
+		p, *lazy, *origin, *trials, *seed)
+	fmt.Printf("dispersion   mean %.4g   95%% CI [%.4g, %.4g]\n", s.Mean, lo, hi)
+	fmt.Printf("             median %.4g   min %.4g   max %.4g   sd %.4g\n",
+		s.Median, s.Min, s.Max, s.StdDev)
+	fmt.Printf("normalised   t/n = %.4g   t/(n ln n) = %.4g\n",
+		s.Mean/float64(g.N()), s.Mean/(float64(g.N())*math.Log(float64(g.N()))))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dispersion:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,75 @@
+// Command experiments runs the full reproduction suite: one experiment per
+// table row / quantitative claim of the paper (the index in DESIGN.md),
+// printing measured-vs-paper comparison tables and a PASS/CHECK verdict
+// for each.
+//
+// Usage:
+//
+//	experiments                  # full suite at scale 1.0 (minutes)
+//	experiments -scale 0.25      # quick pass
+//	experiments -only E01,E13    # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dispersion/internal/bench"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "work scale in (0,1]")
+		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		verbose = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	if *verbose {
+		cfg.Out = os.Stderr
+	}
+
+	if *only == "" {
+		failed := bench.RunAll(cfg, os.Stdout)
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d experiment(s) flagged CHECK\n", failed)
+			os.Exit(1)
+		}
+		return
+	}
+
+	exitCode := 0
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("source: %s\nclaim:  %s\n\n", e.Source, e.Claim)
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ERROR: %v\n", err)
+			exitCode = 1
+			continue
+		}
+		if rep.Table != nil {
+			rep.Table.Render(os.Stdout)
+		}
+		for _, n := range rep.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		verdict := "PASS"
+		if !rep.Pass {
+			verdict = "CHECK"
+			exitCode = 1
+		}
+		fmt.Printf("  %s: %s\n", verdict, rep.Summary)
+	}
+	os.Exit(exitCode)
+}

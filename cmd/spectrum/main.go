@@ -1,0 +1,80 @@
+// Command spectrum prints the Markov-chain analytics of a graph family:
+// the quantities every bound in the paper is phrased in (hitting time,
+// mixing time, spectral gap) together with the Theorem 3.1 dispersion
+// ceiling and the Theorem 3.6/3.7 floors.
+//
+// Usage:
+//
+//	spectrum -graph hypercube:7
+//	spectrum -graph lollipop:32 -mixcap 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dispersion/internal/bench"
+	"dispersion/internal/bounds"
+	"dispersion/internal/markov"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "hypercube:7", "graph family spec")
+		seed      = flag.Uint64("seed", 1, "seed for random families")
+		mixCap    = flag.Int("mixcap", 1<<20, "mixing-time iteration cap")
+	)
+	flag.Parse()
+
+	g, err := bench.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph            %s\n", g.Name())
+	fmt.Printf("n, m             %d, %d\n", g.N(), g.M())
+	fmt.Printf("degrees          min %d, max %d, regular %v\n",
+		g.MinDegree(), g.MaxDegree(), g.IsRegular())
+	fmt.Printf("diameter         %d\n", g.Diameter())
+	fmt.Printf("bipartite        %v\n", g.IsBipartite())
+
+	if g.N() <= 1024 {
+		h, err := markov.NewHitting(g)
+		if err != nil {
+			fatal(err)
+		}
+		thit, u, v := h.Max()
+		fmt.Printf("t_hit (exact)    %.1f  (argmax pair %d -> %d)\n", thit, u, v)
+		fmt.Printf("Thm 3.1 ceiling  6·t_hit·log2 n = %.0f\n", bounds.Theorem31(thit, g.N()))
+	} else {
+		fmt.Printf("t_hit            skipped (n > 1024; dense solve)\n")
+	}
+
+	tmix := markov.MixingTime(g, *mixCap)
+	fmt.Printf("t_mix (TV, lazy) %d  (eps = 1/4)\n", tmix)
+
+	if g.N() <= 768 {
+		sp, err := markov.WalkSpectrum(g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("λ2 (simple walk) %.6f   λ_min %.6f\n", sp.Lambda2(), sp.LambdaMin())
+		fmt.Printf("lazy gap         %.6f   relaxation (lazy) %.1f\n",
+			sp.LazyGap(), 1/sp.LazyGap())
+		fmt.Printf("Prop 3.9 floor   t_seq = Ω(λ̃2/(1-λ̃2)) = Ω(%.1f)\n",
+			bounds.MixingLower((1+sp.Lambda2())/2))
+	} else {
+		sp := markov.SpectralGap(g, 50000, 1e-11)
+		fmt.Printf("λ̃2 (power iter) %.6f   lazy gap %.6f\n", sp.Lambda2Lazy, sp.Gap)
+	}
+
+	fmt.Printf("Thm 3.6 floor    2|E|/Δ = %.1f\n", bounds.EdgeDegreeLower(g.M(), g.MaxDegree()))
+	if g.M() == g.N()-1 {
+		fmt.Printf("Thm 3.7 floor    2n-3 = %.0f (tree)\n", bounds.TreeLower(g.N()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spectrum:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,52 @@
+// Load balancing: the paper's introduction motivates dispersion as a local
+// protocol for resource allocation — jobs arrive at one gateway and walk
+// the server network until they find a free server ("QoS load balancing").
+// This example compares the two scheduling disciplines on an expander
+// datacentre fabric: releasing jobs one at a time (sequential) versus all
+// at once (parallel), measuring the makespan (dispersion time) and total
+// network traffic (total steps).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dispersion/internal/bench"
+	"dispersion/internal/core"
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+	"dispersion/internal/stats"
+)
+
+func main() {
+	// A 4-regular random network of 512 servers; job gateway at server 0.
+	net, err := graph.RandomRegular(512, 4, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const trials = 150
+	fmt.Printf("network: %s, %d servers, diameter %d\n\n", net.Name(), net.N(), net.Diameter())
+
+	seqDisp := bench.SampleDispersion(net, 0, bench.Seq, core.Options{}, trials, 5, 1)
+	parDisp := bench.SampleDispersion(net, 0, bench.Par, core.Options{}, trials, 5, 2)
+	seqTot := bench.SampleTotalSteps(net, 0, bench.Seq, core.Options{}, trials, 5, 3)
+	parTot := bench.SampleTotalSteps(net, 0, bench.Par, core.Options{}, trials, 5, 4)
+
+	ss, ps := stats.Summarize(seqDisp), stats.Summarize(parDisp)
+	st, pt := stats.Summarize(seqTot), stats.Summarize(parTot)
+
+	fmt.Println("discipline   slowest job (hops)   total traffic (hops)")
+	fmt.Printf("sequential   %-20s %s\n", ss.String(), st.String())
+	fmt.Printf("parallel     %-20s %s\n", ps.String(), pt.String())
+
+	fmt.Printf("\nparallel release costs %.1f%% more on the slowest job,\n",
+		100*(ps.Mean/ss.Mean-1))
+	fmt.Printf("but total traffic is the same in distribution (Theorem 4.1): KS p = %.3f\n",
+		stats.KSPValue(stats.KSStatistic(seqTot, parTot), trials, trials))
+
+	// On an expander the makespan is Θ(n) — a constant per server — so
+	// local random-walk placement is only a constant factor worse than
+	// optimal even with zero coordination (Theorem 5.5).
+	fmt.Printf("\nmakespan per server: sequential %.2f, parallel %.2f (Θ(1) on expanders)\n",
+		ss.Mean/float64(net.N()), ps.Mean/float64(net.N()))
+}

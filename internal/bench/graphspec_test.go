@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestParseGraphValid(t *testing.T) {
+	cases := []struct {
+		spec  string
+		wantN int
+	}{
+		{"path:10", 10},
+		{"cycle:12", 12},
+		{"complete:8", 8},
+		{"star:9", 9},
+		{"hypercube:4", 16},
+		{"bintree:4", 15},
+		{"lollipop:10", 10},
+		{"hair:9", 9},
+		{"pimple:12,4", 12},
+		{"treepath:3,4", 11},
+		{"grid:3x4", 12},
+		{"torus:4x4x4", 64},
+		{"regular:16,3", 16},
+		{"gnp:30,0.4", 30},
+		{"tree:25", 25},
+	}
+	for _, c := range cases {
+		g, err := ParseGraph(c.spec, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("%s: N = %d, want %d", c.spec, g.N(), c.wantN)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected", c.spec)
+		}
+	}
+}
+
+func TestParseGraphDeterministicRandomFamilies(t *testing.T) {
+	a, err := ParseGraph("regular:32,3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseGraph("regular:32,3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestParseGraphInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "nosep", "unknown:5", "path:abc", "pimple:5", "gnp:10",
+		"gnp:10,notafloat", "grid:3xq", "regular:7,3", // odd n*d
+	} {
+		if _, err := ParseGraph(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	for name, want := range map[string]Process{
+		"seq": Seq, "sequential": Seq, "par": Par, "parallel": Par,
+		"unif": Unif, "uniform": Unif, "ctu": CTUnifTime, "ct-uniform": CTUnifTime,
+		"ctseq": CTSeqTime, "ct-sequential": CTSeqTime,
+	} {
+		got, err := ParseProcess(name)
+		if err != nil || got != want {
+			t.Errorf("ParseProcess(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseProcess("bogus"); err == nil {
+		t.Error("bogus process accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"dispersion/internal/core"
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+	"dispersion/internal/stats"
+	"dispersion/internal/walk"
+)
+
+// Process selects one of the dispersion-process variants for sampling.
+type Process int
+
+// Process variants.
+const (
+	Seq Process = iota
+	Par
+	Unif
+	CTUnifTime // continuous-time uniform, real-time dispersion
+	CTSeqTime  // continuous-time sequential, real-time dispersion
+)
+
+// String names the process for table output.
+func (p Process) String() string {
+	switch p {
+	case Seq:
+		return "sequential"
+	case Par:
+		return "parallel"
+	case Unif:
+		return "uniform"
+	case CTUnifTime:
+		return "ct-uniform"
+	case CTSeqTime:
+		return "ct-sequential"
+	}
+	return fmt.Sprintf("process(%d)", int(p))
+}
+
+// SampleDispersion runs `trials` independent realizations of the chosen
+// process and returns the dispersion times (real time for the
+// continuous-time variants). Trials run across all cores but are
+// deterministic in (seed, expID, trial).
+func SampleDispersion(g *graph.Graph, origin int, p Process, opt core.Options,
+	trials int, seed, expID uint64) []float64 {
+	rn := walk.NewRunner(seed, expID)
+	return rn.Run(trials, func(_ int, r *rng.Source) float64 {
+		switch p {
+		case Seq:
+			res, err := core.Sequential(g, origin, opt, r)
+			must(err)
+			return float64(res.Dispersion)
+		case Par:
+			res, err := core.Parallel(g, origin, opt, r)
+			must(err)
+			return float64(res.Dispersion)
+		case Unif:
+			res, err := core.Uniform(g, origin, opt, r)
+			must(err)
+			return float64(res.Dispersion)
+		case CTUnifTime:
+			res, err := core.CTUniform(g, origin, opt, r)
+			must(err)
+			return res.Time
+		case CTSeqTime:
+			res, err := core.CTSequential(g, origin, opt, r)
+			must(err)
+			return res.Time
+		}
+		panic("bench: unknown process")
+	})
+}
+
+// SampleTotalSteps returns the total number of jumps of all particles per
+// trial for the chosen process.
+func SampleTotalSteps(g *graph.Graph, origin int, p Process, opt core.Options,
+	trials int, seed, expID uint64) []float64 {
+	rn := walk.NewRunner(seed, expID)
+	return rn.Run(trials, func(_ int, r *rng.Source) float64 {
+		var res *core.Result
+		var err error
+		switch p {
+		case Seq:
+			res, err = core.Sequential(g, origin, opt, r)
+		case Par:
+			res, err = core.Parallel(g, origin, opt, r)
+		case Unif:
+			res, err = core.Uniform(g, origin, opt, r)
+		default:
+			panic("bench: total steps undefined for " + p.String())
+		}
+		must(err)
+		return float64(res.TotalSteps)
+	})
+}
+
+// MeanDispersion is SampleDispersion reduced to a Summary.
+func MeanDispersion(g *graph.Graph, origin int, p Process, opt core.Options,
+	trials int, seed, expID uint64) stats.Summary {
+	return stats.Summarize(SampleDispersion(g, origin, p, opt, trials, seed, expID))
+}
+
+// SampleCoverTime estimates the cover time of the simple random walk from
+// the origin.
+func SampleCoverTime(g *graph.Graph, origin int, trials int, seed, expID uint64) stats.Summary {
+	rn := walk.NewRunner(seed, expID)
+	xs := rn.Run(trials, func(_ int, r *rng.Source) float64 {
+		steps, ok := walk.CoverTime(g, origin, 1<<40, r)
+		if !ok {
+			panic("bench: cover walk capped")
+		}
+		return float64(steps)
+	})
+	return stats.Summarize(xs)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// fm formats a float compactly for tables.
+func fm(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1e6 || x < 1e-3:
+		return fmt.Sprintf("%.3g", x)
+	case x >= 100:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 1:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// within reports |got-want| <= tol·want.
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}

@@ -1,0 +1,479 @@
+// Package core implements the paper's dispersion processes on finite
+// graphs: Sequential-IDLA, Parallel-IDLA, Uniform-IDLA, their lazy
+// variants, and the continuous-time Sequential and Uniform (CTU) processes
+// of Section 4.3. All processes share the IDLA rule: n particles start at
+// an origin vertex and each performs a random walk until it first stands on
+// an unoccupied vertex, where it settles. The dispersion time is the
+// maximum number of steps performed by any particle (equivalently, for the
+// parallel process, the first round at which every vertex hosts a
+// particle).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+)
+
+// SettleRule decides whether a particle standing on a vacant vertex
+// settles there. The standard IDLA rule settles always; Proposition A.1
+// studies a modified rule on the clique-with-hair showing that letting
+// particles walk longer can *decrease* the dispersion time (no
+// least-action principle). The step argument is the number of steps the
+// particle has performed so far.
+type SettleRule func(v int32, step int64) bool
+
+// Options configures a dispersion process run.
+type Options struct {
+	// Lazy makes every particle move as a lazy random walk (stay with
+	// probability 1/2). Theorem 4.3: this doubles dispersion up to 1+o(1).
+	Lazy bool
+	// Record keeps each particle's full trajectory (the rows of the
+	// paper's block representation). Memory is O(total steps).
+	Record bool
+	// RandomPriority resolves same-round settlement conflicts in the
+	// Parallel process by a uniformly random priority permutation instead
+	// of least-index (the σ(L) device in the proof of Theorem 4.2).
+	RandomPriority bool
+	// Rule overrides the settlement rule in the Sequential process
+	// (Proposition A.1). Nil means the standard rule: settle immediately.
+	Rule SettleRule
+	// MaxSteps aborts a run whose total step count exceeds this bound;
+	// zero means no bound. Guards against misconfigured experiments.
+	MaxSteps int64
+	// Particles is the number of particles to disperse (the Section 6.2
+	// variant with fewer particles than sites). Zero means n. Values
+	// above n are rejected: the surplus could never settle.
+	Particles int
+	// RandomOrigins samples each particle's start vertex uniformly at
+	// random instead of using the common origin (the Section 6.2 variant
+	// with random origins). A particle starting on an unoccupied vertex
+	// settles there instantly with zero steps.
+	RandomOrigins bool
+}
+
+// numParticles resolves Options.Particles against the graph size.
+func (o Options) numParticles(n int) (int, error) {
+	k := o.Particles
+	if k == 0 {
+		k = n
+	}
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("core: %d particles on %d vertices (want 1..n)", o.Particles, n)
+	}
+	return k, nil
+}
+
+// startVertex returns the origin for the next particle under the options.
+func (o Options) startVertex(origin, n int, r *rng.Source) int32 {
+	if o.RandomOrigins {
+		return int32(r.Intn(n))
+	}
+	return int32(origin)
+}
+
+// Result reports the outcome of a single dispersion-process run.
+type Result struct {
+	// Dispersion is the maximum number of random-walk steps performed by
+	// any particle: the paper's τ. For the Parallel process this equals
+	// the number of rounds until the last settlement.
+	Dispersion int64
+	// TotalSteps is the total number of jumps performed by all particles.
+	// Theorem 4.1 proves this has the same distribution in the Sequential
+	// and Parallel processes.
+	TotalSteps int64
+	// Steps[i] is the number of steps performed by particle i (in start
+	// order for Sequential; fixed labels for Parallel/Uniform).
+	Steps []int64
+	// SettledAt[i] is the vertex where particle i settled.
+	SettledAt []int32
+	// SettleOrder lists particle indices in settlement order.
+	SettleOrder []int32
+	// SettleClock[k] is the process time at which the (k+1)-th settlement
+	// happened: round number for Parallel, global tick for Uniform,
+	// real time (as float bits via ClockTimes) for continuous processes,
+	// cumulative step count for Sequential.
+	SettleClock []int64
+	// Trajectories[i] is particle i's visited vertex sequence including
+	// the origin (so len = Steps[i]+1); nil unless Options.Record.
+	Trajectories [][]int32
+	// Truncated reports that Options.MaxSteps fired; all counts are then
+	// lower bounds.
+	Truncated bool
+}
+
+// Unsettled returns how many particles were left unsettled (only nonzero
+// for truncated runs).
+func (res *Result) Unsettled() int {
+	n := 0
+	for _, v := range res.SettledAt {
+		if v < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (res *Result) validateInputs(g *graph.Graph, origin int) error {
+	if origin < 0 || origin >= g.N() {
+		return fmt.Errorf("core: origin %d out of range [0,%d)", origin, g.N())
+	}
+	if !g.IsConnected() {
+		return fmt.Errorf("core: graph %s is not connected", g.Name())
+	}
+	return nil
+}
+
+// step advances one particle one move under the configured walk law.
+func step(g *graph.Graph, v int32, lazy bool, r *rng.Source) int32 {
+	if lazy && r.Bool() {
+		return v
+	}
+	d := int32(g.Degree(int(v)))
+	if d == 1 {
+		return g.Neighbor(int(v), 0)
+	}
+	return g.Neighbor(int(v), r.Int31n(d))
+}
+
+// Sequential runs the Sequential-IDLA process on g from origin: particles
+// move one at a time, each walking until it settles, and only then does
+// the next particle start. Particle 0 settles at the origin instantly.
+func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(k, opt.Record)
+	if err := res.validateInputs(g, origin); err != nil {
+		return nil, err
+	}
+	occupied := make([]bool, n)
+	rule := opt.Rule
+	for i := 0; i < k; i++ {
+		v := opt.startVertex(origin, n, r)
+		var steps int64
+		var traj []int32
+		if opt.Record {
+			traj = append(traj, v)
+		}
+		// A particle standing on a vacant vertex settles instantly (this
+		// is how the first particle claims the origin); a settlement rule
+		// may veto it, exactly as ρ̃ does in Proposition A.1.
+		for occupied[v] || (rule != nil && !rule(v, steps)) {
+			v = step(g, v, opt.Lazy, r)
+			steps++
+			res.TotalSteps++
+			if opt.Record {
+				traj = append(traj, v)
+			}
+			if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+				res.Truncated = true
+				res.Steps[i] = steps
+				res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
+				return res, nil
+			}
+		}
+		occupied[v] = true
+		res.settle(i, v, steps, res.TotalSteps)
+		res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
+	}
+	return res, nil
+}
+
+// Parallel runs the Parallel-IDLA process on g from origin: all n
+// particles start at the origin at round 0 (one settles there instantly),
+// then in every round all unsettled particles move simultaneously; on each
+// vertex that is unoccupied at the start of the round, the
+// highest-priority arriving particle settles. Priority is least index, or
+// a uniform permutation under Options.RandomPriority.
+func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(k, opt.Record)
+	if err := res.validateInputs(g, origin); err != nil {
+		return nil, err
+	}
+	occupied := make([]bool, n)
+
+	// Priority order for settlement conflicts: least index, or a uniform
+	// permutation under RandomPriority.
+	prio := make([]int32, k)
+	for i := range prio {
+		prio[i] = int32(i)
+	}
+	if opt.RandomPriority {
+		r.Shuffle(len(prio), func(i, j int) { prio[i], prio[j] = prio[j], prio[i] })
+	}
+	pos := make([]int32, k)
+	for i := range pos {
+		pos[i] = opt.startVertex(origin, n, r)
+	}
+	if opt.Record {
+		for i := 0; i < k; i++ {
+			res.Trajectories[i] = []int32{pos[i]}
+		}
+	}
+	// Round 0 settlement: every particle standing on a vacant vertex
+	// settles, one per vertex in priority order. With a common origin
+	// this is exactly "one of them instantaneously settles at the
+	// origin".
+	active := make([]int32, 0, k)
+	for _, p := range prio {
+		if !occupied[pos[p]] {
+			occupied[pos[p]] = true
+			res.settle(int(p), pos[p], 0, 0)
+		} else {
+			active = append(active, p)
+		}
+	}
+
+	var round int64
+	for len(active) > 0 {
+		round++
+		// Every unsettled particle moves simultaneously.
+		for _, p := range active {
+			pos[p] = step(g, pos[p], opt.Lazy, r)
+			res.Steps[p]++
+			res.TotalSteps++
+			if opt.Record {
+				res.Trajectories[p] = append(res.Trajectories[p], pos[p])
+			}
+		}
+		// Settlement resolution in priority order: one settler per vertex.
+		keep := active[:0]
+		for _, p := range active {
+			if !occupied[pos[p]] {
+				occupied[pos[p]] = true
+				res.settle(int(p), pos[p], res.Steps[p], round)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		active = keep
+		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+			res.Truncated = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Uniform runs the (discrete) Uniform-IDLA of Section 4.2: at every tick a
+// uniformly random unsettled particle moves one step, settling if it lands
+// on an unoccupied vertex. The returned SettleClock counts ticks restricted
+// to unsettled particles, which is the process's natural filtration; the
+// paper's lazier convention (ticks hitting settled particles are wasted)
+// changes only the clock, not any trajectory, and is recovered by the
+// continuous-time process below.
+func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(k, opt.Record)
+	if err := res.validateInputs(g, origin); err != nil {
+		return nil, err
+	}
+	occupied := make([]bool, n)
+	pos := make([]int32, k)
+	for i := range pos {
+		pos[i] = opt.startVertex(origin, n, r)
+	}
+	if opt.Record {
+		for i := 0; i < k; i++ {
+			res.Trajectories[i] = []int32{pos[i]}
+		}
+	}
+	active := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		if !occupied[pos[i]] {
+			occupied[pos[i]] = true
+			res.settle(i, pos[i], 0, 0)
+		} else {
+			active = append(active, int32(i))
+		}
+	}
+	var tick int64
+	for len(active) > 0 {
+		tick++
+		ai := r.Intn(len(active))
+		p := active[ai]
+		pos[p] = step(g, pos[p], opt.Lazy, r)
+		res.Steps[p]++
+		res.TotalSteps++
+		if opt.Record {
+			res.Trajectories[p] = append(res.Trajectories[p], pos[p])
+		}
+		if !occupied[pos[p]] {
+			occupied[pos[p]] = true
+			res.settle(int(p), pos[p], res.Steps[p], tick)
+			active[ai] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+			res.Truncated = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func newResult(n int, record bool) *Result {
+	res := &Result{
+		Steps:       make([]int64, n),
+		SettledAt:   make([]int32, n),
+		SettleOrder: make([]int32, 0, n),
+		SettleClock: make([]int64, 0, n),
+	}
+	for i := range res.SettledAt {
+		res.SettledAt[i] = -1
+	}
+	if record {
+		res.Trajectories = make([][]int32, n)
+	}
+	return res
+}
+
+func (res *Result) settle(particle int, v int32, steps, clock int64) {
+	res.SettledAt[particle] = v
+	res.Steps[particle] = steps
+	res.SettleOrder = append(res.SettleOrder, int32(particle))
+	res.SettleClock = append(res.SettleClock, clock)
+	if steps > res.Dispersion {
+		res.Dispersion = steps
+	}
+}
+
+func appendTraj(trajs [][]int32, i int, traj []int32, record bool) [][]int32 {
+	if record {
+		trajs[i] = traj
+	}
+	return trajs
+}
+
+// event is a pending clock ring in the continuous-time processes.
+type event struct {
+	t float64
+	p int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// CTResult augments Result with the real-valued clock of a continuous-time
+// process.
+type CTResult struct {
+	Result
+	// Time is the real time at which the last particle settled: the
+	// paper's τ_c-seq / τ_c-unif.
+	Time float64
+	// SettleTimes[k] is the real time of the (k+1)-th settlement.
+	SettleTimes []float64
+}
+
+// CTUniform runs the continuous-time Uniform IDLA (CTU-IDLA) of Section
+// 4.3: every unsettled particle carries an independent exponential clock
+// of rate 1 and moves when it rings, settling on unoccupied vertices. It
+// is simulated exactly with an event heap. Theorem 4.8: its dispersion
+// time is (1+o(1))·τ_par.
+func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &CTResult{Result: *newResult(k, opt.Record)}
+	if err := res.validateInputs(g, origin); err != nil {
+		return nil, err
+	}
+	occupied := make([]bool, n)
+	pos := make([]int32, k)
+	for i := range pos {
+		pos[i] = opt.startVertex(origin, n, r)
+	}
+	if opt.Record {
+		for i := 0; i < k; i++ {
+			res.Trajectories[i] = []int32{pos[i]}
+		}
+	}
+	h := make(eventHeap, 0, k)
+	remaining := 0
+	for i := 0; i < k; i++ {
+		if !occupied[pos[i]] {
+			occupied[pos[i]] = true
+			res.settle(i, pos[i], 0, 0)
+			res.SettleTimes = append(res.SettleTimes, 0)
+		} else {
+			h = append(h, event{t: r.ExpFloat64(), p: int32(i)})
+			remaining++
+		}
+	}
+	heap.Init(&h)
+	for remaining > 0 {
+		e := heap.Pop(&h).(event)
+		p := e.p
+		pos[p] = step(g, pos[p], opt.Lazy, r)
+		res.Steps[p]++
+		res.TotalSteps++
+		if opt.Record {
+			res.Trajectories[p] = append(res.Trajectories[p], pos[p])
+		}
+		if !occupied[pos[p]] {
+			occupied[pos[p]] = true
+			res.settle(int(p), pos[p], res.Steps[p], int64(len(res.SettleOrder)))
+			res.SettleTimes = append(res.SettleTimes, e.t)
+			res.Time = e.t
+			remaining--
+		} else {
+			heap.Push(&h, event{t: e.t + r.ExpFloat64(), p: p})
+		}
+		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+			res.Truncated = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// CTSequential runs the continuous-time Sequential IDLA: the discrete
+// Sequential process with independent Exp(1) waiting times between the
+// jumps of each walk. Its dispersion time is the largest total walking
+// time over particles; Section 4.3 shows it equals (1+o(1))·τ_seq.
+func CTSequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
+	disc, err := Sequential(g, origin, opt, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &CTResult{Result: *disc}
+	res.SettleTimes = make([]float64, 0, g.N())
+	for _, p := range disc.SettleOrder {
+		var walkTime float64
+		for s := int64(0); s < disc.Steps[p]; s++ {
+			walkTime += r.ExpFloat64()
+		}
+		res.SettleTimes = append(res.SettleTimes, walkTime)
+		if walkTime > res.Time {
+			res.Time = walkTime
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+)
+
+type runner func(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error)
+
+func allProcesses() map[string]runner {
+	return map[string]runner{
+		"sequential": Sequential,
+		"parallel":   Parallel,
+		"uniform":    Uniform,
+		"ctuniform": func(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+			res, err := CTUniform(g, origin, opt, r)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		},
+	}
+}
+
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(17),
+		graph.Cycle(16),
+		graph.Complete(20),
+		graph.Star(15),
+		graph.CompleteBinaryTree(4),
+		graph.Lollipop(14),
+		graph.Grid([]int{4, 4}, true),
+		graph.Hypercube(4),
+		graph.CliqueWithHair(12),
+	}
+}
+
+func TestAllProcessesProduceValidRuns(t *testing.T) {
+	for name, run := range allProcesses() {
+		for _, g := range testGraphs() {
+			r := rng.New(101)
+			res, err := run(g, 0, Options{Record: true}, r)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, g.Name(), err)
+			}
+			if err := res.Check(g); err != nil {
+				t.Errorf("%s on %s: %v", name, g.Name(), err)
+			}
+			if res.Steps[0] != 0 || res.SettledAt[0] != 0 {
+				t.Errorf("%s on %s: particle 0 did not settle at origin instantly", name, g.Name())
+			}
+		}
+	}
+}
+
+func TestProcessesDeterministic(t *testing.T) {
+	g := graph.Lollipop(16)
+	for name, run := range allProcesses() {
+		a, err := run(g, 0, Options{}, rng.New(55))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := run(g, 0, Options{}, rng.New(55))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Dispersion != b.Dispersion || a.TotalSteps != b.TotalSteps {
+			t.Errorf("%s: same seed produced different runs", name)
+		}
+	}
+}
+
+func TestOriginValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Sequential(g, 7, Options{}, rng.New(1)); err == nil {
+		t.Fatal("out-of-range origin accepted")
+	}
+	if _, err := Parallel(g, -1, Options{}, rng.New(1)); err == nil {
+		t.Fatal("negative origin accepted")
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	b := graph.NewBuilder("disc", 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sequential(g, 0, Options{}, rng.New(1)); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestParallelDispersionEqualsRounds(t *testing.T) {
+	g := graph.Cycle(20)
+	res, err := Parallel(g, 0, Options{}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last particle to settle moved in every round, so its step count
+	// (== Dispersion) equals the final settlement clock (round number).
+	if res.SettleClock[len(res.SettleClock)-1] != res.Dispersion {
+		t.Errorf("final round %d != dispersion %d",
+			res.SettleClock[len(res.SettleClock)-1], res.Dispersion)
+	}
+}
+
+func TestSequentialSettleClockIsTotalSteps(t *testing.T) {
+	g := graph.Complete(12)
+	res, err := Sequential(g, 0, Options{}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SettleClock[len(res.SettleClock)-1] != res.TotalSteps {
+		t.Error("sequential settlement clock should end at TotalSteps")
+	}
+}
+
+func TestMeanDominanceSeqParClique(t *testing.T) {
+	// Theorem 4.1: E[τ_seq] <= E[τ_par]. Checked on K_32 with enough
+	// trials that the gap (κ_cc vs π²/6, ~30%) is unmistakable.
+	g := graph.Complete(32)
+	const trials = 400
+	var seqSum, parSum float64
+	root := rng.New(2024)
+	for i := 0; i < trials; i++ {
+		s, err := Sequential(g, 0, Options{}, root.Split(1, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Parallel(g, 0, Options{}, root.Split(2, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqSum += float64(s.Dispersion)
+		parSum += float64(p.Dispersion)
+	}
+	if parSum <= seqSum {
+		t.Errorf("mean parallel dispersion %.1f not above sequential %.1f",
+			parSum/trials, seqSum/trials)
+	}
+}
+
+func TestTotalStepsSameMeanSeqPar(t *testing.T) {
+	// Theorem 4.1 also gives equality in distribution of total steps;
+	// check the means agree within Monte-Carlo error on K_24.
+	g := graph.Complete(24)
+	const trials = 600
+	var seqSum, parSum, seqSq float64
+	root := rng.New(77)
+	for i := 0; i < trials; i++ {
+		s, _ := Sequential(g, 0, Options{}, root.Split(1, uint64(i)))
+		p, _ := Parallel(g, 0, Options{}, root.Split(2, uint64(i)))
+		seqSum += float64(s.TotalSteps)
+		seqSq += float64(s.TotalSteps) * float64(s.TotalSteps)
+		parSum += float64(p.TotalSteps)
+	}
+	seqMean := seqSum / trials
+	parMean := parSum / trials
+	sd := math.Sqrt(seqSq/trials - seqMean*seqMean)
+	if math.Abs(seqMean-parMean) > 5*sd/math.Sqrt(trials) {
+		t.Errorf("total steps means differ: seq %.1f vs par %.1f (sd %.1f)",
+			seqMean, parMean, sd)
+	}
+}
+
+func TestCliqueSequentialCouponCollector(t *testing.T) {
+	// On K_n the sequential dispersion is the longest coupon-collector
+	// waiting time; its mean is κ_cc·n ≈ 1.255n (Lemma 5.1).
+	g := graph.Complete(64)
+	const trials = 500
+	var sum float64
+	root := rng.New(5)
+	for i := 0; i < trials; i++ {
+		res, _ := Sequential(g, 0, Options{}, root.Split(0, uint64(i)))
+		sum += float64(res.Dispersion)
+	}
+	ratio := sum / trials / 64
+	if ratio < 1.0 || ratio > 1.5 {
+		t.Errorf("K_64 t_seq/n = %.3f, want ~1.255", ratio)
+	}
+}
+
+func TestCliqueParallelPiSquaredOverSix(t *testing.T) {
+	g := graph.Complete(64)
+	const trials = 500
+	var sum float64
+	root := rng.New(6)
+	for i := 0; i < trials; i++ {
+		res, _ := Parallel(g, 0, Options{}, root.Split(0, uint64(i)))
+		sum += float64(res.Dispersion)
+	}
+	ratio := sum / trials / 64
+	want := math.Pi * math.Pi / 6
+	if math.Abs(ratio-want) > 0.25 {
+		t.Errorf("K_64 t_par/n = %.3f, want ~%.3f", ratio, want)
+	}
+}
+
+func TestLazyRoughlyDoubles(t *testing.T) {
+	// Theorem 4.3: lazy dispersion = (2+o(1))·non-lazy.
+	g := graph.Cycle(48)
+	const trials = 120
+	var plain, lazy float64
+	root := rng.New(8)
+	for i := 0; i < trials; i++ {
+		a, _ := Sequential(g, 0, Options{}, root.Split(1, uint64(i)))
+		b, _ := Sequential(g, 0, Options{Lazy: true}, root.Split(2, uint64(i)))
+		plain += float64(a.Dispersion)
+		lazy += float64(b.Dispersion)
+	}
+	ratio := lazy / plain
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("lazy/plain dispersion ratio %.3f, want ~2", ratio)
+	}
+}
+
+func TestCTUniformMatchesParallelOnClique(t *testing.T) {
+	// Theorem 4.8: τ_CTU = (1+o(1))·τ_par. On K_n both concentrate.
+	g := graph.Complete(64)
+	const trials = 300
+	var ctu, par float64
+	root := rng.New(9)
+	for i := 0; i < trials; i++ {
+		a, err := CTUniform(g, 0, Options{}, root.Split(1, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Parallel(g, 0, Options{}, root.Split(2, uint64(i)))
+		ctu += a.Time
+		par += float64(b.Dispersion)
+	}
+	ratio := ctu / par
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("CTU/parallel dispersion ratio %.3f, want ~1", ratio)
+	}
+}
+
+func TestCTSequentialTimeTracksSteps(t *testing.T) {
+	g := graph.Complete(32)
+	res, err := CTSequential(g, 0, Options{}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slowest particle's real time is a Gamma(steps) variate; it
+	// should be within a factor ~2 of its step count for steps >~ 30.
+	if res.Time < float64(res.Dispersion)*0.4 || res.Time > float64(res.Dispersion)*2.5 {
+		t.Errorf("CT sequential time %.1f far from discrete dispersion %d",
+			res.Time, res.Dispersion)
+	}
+	if len(res.SettleTimes) != g.N() {
+		t.Errorf("SettleTimes has %d entries, want %d", len(res.SettleTimes), g.N())
+	}
+}
+
+func TestRandomPriorityStillValid(t *testing.T) {
+	g := graph.Grid([]int{5, 5}, false)
+	res, err := Parallel(g, 12, Options{RandomPriority: true, Record: true}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettleRuleDelaysSettlement(t *testing.T) {
+	// A rule that refuses settlement for the first 5 steps forces every
+	// later particle to take at least 6 steps.
+	g := graph.Complete(16)
+	rule := func(v int32, step int64) bool { return step > 5 }
+	res, err := Sequential(g, 0, Options{Rule: rule}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(g); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < g.N(); i++ {
+		if res.Steps[i] <= 5 {
+			t.Fatalf("particle %d settled after %d steps despite rule", i, res.Steps[i])
+		}
+	}
+}
+
+func TestMaxStepsTruncates(t *testing.T) {
+	g := graph.Cycle(64)
+	res, err := Sequential(g, 0, Options{MaxSteps: 100}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("run not truncated")
+	}
+	if res.TotalSteps > 100 {
+		t.Fatalf("truncated run took %d steps", res.TotalSteps)
+	}
+	if res.Unsettled() == 0 {
+		t.Fatal("truncated run claims everything settled")
+	}
+}
+
+func TestPhaseClockSemantics(t *testing.T) {
+	g := graph.Complete(10)
+	res, err := Parallel(g, 0, Options{}, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	// PhaseClock(n, 1) is the final settlement round.
+	if got := res.PhaseClock(n, 1); got != res.SettleClock[n-1] {
+		t.Errorf("PhaseClock(n,1) = %d, want final clock %d", got, res.SettleClock[n-1])
+	}
+	// At PhaseClock(n, k), fewer than k particles are unsettled.
+	for k := 1; k < n; k++ {
+		c := res.PhaseClock(n, k)
+		if c < 0 {
+			t.Fatalf("phase %d unreached", k)
+		}
+		if got := res.UnsettledAtClock(c); got >= k {
+			t.Errorf("after PhaseClock(n,%d)=%d still %d unsettled", k, c, got)
+		}
+	}
+}
+
+func TestUnsettledAtClock(t *testing.T) {
+	g := graph.Complete(8)
+	res, err := Parallel(g, 0, Options{}, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strictly before clock 0 nothing has settled, not even particle 0.
+	if got := res.UnsettledAtClock(-1); got != g.N() {
+		t.Errorf("before time 0: %d unsettled, want n=%d", got, g.N())
+	}
+	last := res.SettleClock[len(res.SettleClock)-1]
+	if got := res.UnsettledAtClock(last); got != 0 {
+		t.Errorf("after final clock: %d unsettled", got)
+	}
+}
+
+func TestAggregateAtGrowsFromOrigin(t *testing.T) {
+	g := graph.Grid([]int{6, 6}, false)
+	origin := graph.GridIndex([]int{6, 6}, []int{3, 3})
+	res, err := Sequential(g, origin, Options{}, rng.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.AggregateAt(10)
+	if len(agg) != 10 || agg[0] != int32(origin) {
+		t.Fatalf("aggregate %v should start at origin %d", agg, origin)
+	}
+	// The aggregate is connected at every prefix (IDLA invariant: a
+	// particle settles adjacent to the visited region... in fact on the
+	// first unoccupied vertex of a walk started inside the aggregate).
+	inAgg := map[int32]bool{int32(origin): true}
+	for _, v := range agg[1:] {
+		adjacent := false
+		for _, u := range g.Neighbors(int(v)) {
+			if inAgg[u] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Fatalf("settled vertex %d not adjacent to aggregate", v)
+		}
+		inAgg[v] = true
+	}
+}
+
+func TestUniformDispersionBetweenSeqAndPar(t *testing.T) {
+	// Theorem 4.7: uniform longest walk ⪯ parallel longest walk. Check
+	// means: seq <= unif-ish <= par is not exactly claimed, but
+	// unif <= par is; verify with margin.
+	g := graph.Complete(48)
+	const trials = 400
+	var unif, par float64
+	root := rng.New(17)
+	for i := 0; i < trials; i++ {
+		u, _ := Uniform(g, 0, Options{}, root.Split(1, uint64(i)))
+		p, _ := Parallel(g, 0, Options{}, root.Split(2, uint64(i)))
+		unif += float64(u.Dispersion)
+		par += float64(p.Dispersion)
+	}
+	if unif > par*1.02 {
+		t.Errorf("uniform mean dispersion %.1f exceeds parallel %.1f", unif/trials, par/trials)
+	}
+}
+
+func TestEveryVertexSettledExactlyOnce(t *testing.T) {
+	g := graph.Hypercube(5)
+	for name, run := range allProcesses() {
+		res, err := run(g, 3, Options{}, rng.New(18))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := make([]bool, g.N())
+		for _, v := range res.SettledAt {
+			if seen[v] {
+				t.Fatalf("%s: vertex %d settled twice", name, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTreeSequentialLowerBound(t *testing.T) {
+	// Theorem 3.7: t_seq(T) >= 2n-3 for trees; check the empirical mean
+	// over trials clears it (with slack for Monte-Carlo noise).
+	for _, g := range []*graph.Graph{graph.Star(24), graph.CompleteBinaryTree(4)} {
+		const trials = 200
+		var sum float64
+		root := rng.New(19)
+		for i := 0; i < trials; i++ {
+			res, _ := Sequential(g, 0, Options{}, root.Split(3, uint64(i)))
+			sum += float64(res.Dispersion)
+		}
+		mean := sum / trials
+		bound := float64(2*g.N() - 3)
+		if mean < bound*0.9 {
+			t.Errorf("%s: mean t_seq %.1f below tree bound %g", g.Name(), mean, bound)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package exact computes exact (non-Monte-Carlo) quantities of the
+// Sequential-IDLA process on small graphs by dynamic programming over
+// occupied sets, providing ground truth for validating the simulator in
+// internal/core and the constants of Theorem 5.2 at small n.
+//
+// The key structure: conditional on the current occupied set S, the next
+// particle performs a walk from the origin absorbed on V\S. Its settlement
+// vertex follows the harmonic measure of V\S from the origin, and its walk
+// length distribution is the absorption-time distribution — both exactly
+// computable from the transition matrix restricted to S. Because the
+// process sees only the sequence of occupied sets, every distribution of
+// interest factorises over subsets.
+//
+// Complexity is O(2^n · poly(n) · T) for time horizons T; intended for
+// n <= ~14.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"dispersion/internal/graph"
+)
+
+// maxExactN bounds the subset DP.
+const maxExactN = 20
+
+// Sequential holds the exact subset-DP machinery for a graph and origin.
+type Sequential struct {
+	g      *graph.Graph
+	origin int
+	n      int
+}
+
+// NewSequential validates inputs and returns the solver.
+func NewSequential(g *graph.Graph, origin int) (*Sequential, error) {
+	if g.N() > maxExactN {
+		return nil, fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", g.N(), maxExactN)
+	}
+	if origin < 0 || origin >= g.N() {
+		return nil, fmt.Errorf("exact: origin %d out of range", origin)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("exact: graph not connected")
+	}
+	return &Sequential{g: g, origin: origin, n: g.N()}, nil
+}
+
+// stepDist advances one walk step of the distribution restricted to the
+// occupied set S: mass leaving S is absorbed (recorded in absorbed).
+func (e *Sequential) stepDist(s uint32, cur, next, absorbed []float64) {
+	for i := range next {
+		next[i] = 0
+	}
+	for u := 0; u < e.n; u++ {
+		if cur[u] == 0 {
+			continue
+		}
+		share := cur[u] / float64(e.g.Degree(u))
+		for _, v := range e.g.Neighbors(u) {
+			if s&(1<<uint(v)) != 0 {
+				next[v] += share
+			} else {
+				absorbed[v] += share
+			}
+		}
+	}
+}
+
+// HarmonicMeasure returns, for occupied set S (bitmask containing the
+// origin), the exact settlement distribution of the next particle: the
+// probability the walk from the origin first exits S at each vertex of
+// V\S. Mass sums to 1 for connected graphs.
+func (e *Sequential) HarmonicMeasure(s uint32) []float64 {
+	absorbed := make([]float64, e.n)
+	cur := make([]float64, e.n)
+	next := make([]float64, e.n)
+	cur[e.origin] = 1
+	// Iterate until the surviving mass is negligible. The survival decay
+	// rate is bounded by the absorbing chain's spectral radius < 1.
+	for iter := 0; iter < 1<<20; iter++ {
+		e.stepDist(s, cur, next, absorbed)
+		cur, next = next, cur
+		var alive float64
+		for _, p := range cur {
+			alive += p
+		}
+		if alive < 1e-14 {
+			break
+		}
+	}
+	return absorbed
+}
+
+// SettleCDF returns, for occupied set S, the joint settlement law of the
+// next particle truncated at T steps: out[v][t] = P(settles at v in <= t
+// steps), for t = 0..T. Entry t=0 is zero since a settling step is a move.
+func (e *Sequential) SettleCDF(s uint32, T int) [][]float64 {
+	out := make([][]float64, e.n)
+	for v := range out {
+		out[v] = make([]float64, T+1)
+	}
+	absorbed := make([]float64, e.n)
+	cur := make([]float64, e.n)
+	next := make([]float64, e.n)
+	cur[e.origin] = 1
+	for t := 1; t <= T; t++ {
+		e.stepDist(s, cur, next, absorbed)
+		cur, next = next, cur
+		for v := 0; v < e.n; v++ {
+			out[v][t] = absorbed[v]
+		}
+	}
+	return out
+}
+
+// MeanAbsorptionTime returns the exact expected walk length of the next
+// particle given occupied set S, by solving the absorbing system with
+// dense elimination over the |S| transient states.
+func (e *Sequential) MeanAbsorptionTime(s uint32) float64 {
+	// Collect transient states (occupied vertices).
+	var states []int
+	idx := make([]int, e.n)
+	for v := 0; v < e.n; v++ {
+		if s&(1<<uint(v)) != 0 {
+			idx[v] = len(states)
+			states = append(states, v)
+		}
+	}
+	m := len(states)
+	// Solve (I - Q) h = 1 by Gaussian elimination on a local dense copy.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i, u := range states {
+		a[i] = make([]float64, m)
+		a[i][i] = 1
+		b[i] = 1
+		p := 1.0 / float64(e.g.Degree(u))
+		for _, v := range e.g.Neighbors(u) {
+			if s&(1<<uint(v)) != 0 {
+				a[i][idx[v]] -= p
+			}
+		}
+	}
+	solveInPlace(a, b)
+	return b[idx[e.origin]]
+}
+
+// ExpectedTotalSteps returns the exact E[total steps] of the full
+// Sequential-IDLA: the sum over the random set sequence of per-set mean
+// absorption times, computed by forward DP over subsets. By Theorem 4.1
+// this equals the expected total steps of the Parallel-IDLA too.
+func (e *Sequential) ExpectedTotalSteps() float64 {
+	full := uint32(1)<<uint(e.n) - 1
+	start := uint32(1) << uint(e.origin)
+	// prob[s] = probability the occupied-set trajectory visits s.
+	prob := map[uint32]float64{start: 1}
+	// Process sets in increasing popcount order.
+	order := subsetsByPopcount(e.n, e.origin)
+	var total float64
+	for _, s := range order {
+		p, ok := prob[s]
+		if !ok || s == full {
+			continue
+		}
+		total += p * e.MeanAbsorptionTime(s)
+		hm := e.HarmonicMeasure(s)
+		for v := 0; v < e.n; v++ {
+			if hm[v] > 0 {
+				prob[s|1<<uint(v)] += p * hm[v]
+			}
+		}
+	}
+	return total
+}
+
+// DispersionCDF returns the exact CDF of the sequential dispersion time:
+// cdf[t] = P(τ_seq <= t) for t = 0..T. It uses the factorisation
+//
+//	P(all particles take <= t steps) = Σ_paths Π_s P(settle in <= t | s)
+//
+// computed by DP over occupied sets with the per-set settlement CDFs.
+func (e *Sequential) DispersionCDF(T int) []float64 {
+	full := uint32(1)<<uint(e.n) - 1
+	start := uint32(1) << uint(e.origin)
+	order := subsetsByPopcount(e.n, e.origin)
+	cdf := make([]float64, T+1)
+	// f[s] = P(trajectory reaches s AND every walk so far took <= t).
+	// One pass per t is wasteful; instead carry the whole t-vector.
+	f := map[uint32][]float64{}
+	init := make([]float64, T+1)
+	for t := range init {
+		init[t] = 1 // particle 0 takes 0 steps
+	}
+	f[start] = init
+	for _, s := range order {
+		fs, ok := f[s]
+		if !ok {
+			continue
+		}
+		if s == full {
+			continue
+		}
+		settle := e.SettleCDF(s, T)
+		for v := 0; v < e.n; v++ {
+			if s&(1<<uint(v)) != 0 {
+				continue
+			}
+			last := settle[v][T]
+			if last == 0 {
+				continue
+			}
+			nxt := f[s|1<<uint(v)]
+			if nxt == nil {
+				nxt = make([]float64, T+1)
+				f[s|1<<uint(v)] = nxt
+			}
+			for t := 0; t <= T; t++ {
+				nxt[t] += fs[t] * settle[v][t]
+			}
+		}
+	}
+	if ff := f[full]; ff != nil {
+		copy(cdf, ff)
+	}
+	return cdf
+}
+
+// ExpectedDispersion returns the exact E[τ_seq] up to the truncation
+// error of horizon T: E ≈ Σ_{t<T} (1 - cdf[t]). The second return value
+// is the residual probability mass P(τ > T), an upper bound scale for the
+// truncation error contribution per additional step.
+func (e *Sequential) ExpectedDispersion(T int) (mean, tailMass float64) {
+	cdf := e.DispersionCDF(T)
+	for t := 0; t < T; t++ {
+		mean += 1 - cdf[t]
+	}
+	return mean, 1 - cdf[T]
+}
+
+// solveInPlace performs Gaussian elimination with partial pivoting on the
+// dense system a·x = b, leaving the solution in b.
+func solveInPlace(a [][]float64, b []float64) {
+	m := len(a)
+	for k := 0; k < m; k++ {
+		p := k
+		for i := k + 1; i < m; i++ {
+			if math.Abs(a[i][k]) > math.Abs(a[p][k]) {
+				p = i
+			}
+		}
+		a[k], a[p] = a[p], a[k]
+		b[k], b[p] = b[p], b[k]
+		piv := a[k][k]
+		for i := k + 1; i < m; i++ {
+			l := a[i][k] / piv
+			if l == 0 {
+				continue
+			}
+			for j := k; j < m; j++ {
+				a[i][j] -= l * a[k][j]
+			}
+			b[i] -= l * b[k]
+		}
+	}
+	for i := m - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < m; j++ {
+			s -= a[i][j] * b[j]
+		}
+		b[i] = s / a[i][i]
+	}
+}
+
+// subsetsByPopcount returns all subsets of [0,n) containing origin,
+// ordered by increasing cardinality (so DP dependencies are satisfied).
+func subsetsByPopcount(n, origin int) []uint32 {
+	var out []uint32
+	for s := uint32(0); s < 1<<uint(n); s++ {
+		if s&(1<<uint(origin)) != 0 {
+			out = append(out, s)
+		}
+	}
+	// Counting sort by popcount.
+	buckets := make([][]uint32, n+1)
+	for _, s := range out {
+		pc := popcount(s)
+		buckets[pc] = append(buckets[pc], s)
+	}
+	out = out[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

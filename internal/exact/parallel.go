@@ -1,0 +1,142 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"dispersion/internal/graph"
+)
+
+// Parallel computes exact distributions of the Parallel-IDLA on very
+// small graphs by forward dynamics over collapsed states. Because the
+// dispersion time (the last settlement round) does not depend on particle
+// identities, the state collapses to (occupied set, multiset of unsettled
+// particle positions); settlement resolution removes one arrival per
+// newly taken vertex, which is identity-free as well.
+//
+// State counts grow like 2^n · C(2n-2, n-1); intended for n <= ~7.
+type Parallel struct {
+	g      *graph.Graph
+	origin int
+	n      int
+}
+
+// maxExactParallelN bounds the collapsed-state dynamics.
+const maxExactParallelN = 8
+
+// NewParallel validates inputs and returns the solver.
+func NewParallel(g *graph.Graph, origin int) (*Parallel, error) {
+	if g.N() > maxExactParallelN {
+		return nil, fmt.Errorf("exact: n = %d exceeds parallel-DP limit %d", g.N(), maxExactParallelN)
+	}
+	if origin < 0 || origin >= g.N() {
+		return nil, fmt.Errorf("exact: origin %d out of range", origin)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("exact: graph not connected")
+	}
+	return &Parallel{g: g, origin: origin, n: g.N()}, nil
+}
+
+// pstate is a collapsed process state: the occupied set and the sorted
+// positions of unsettled particles, encoded as a string key for maps.
+type pstate struct {
+	occ uint32
+	pos string // sorted bytes, one per unsettled particle
+}
+
+// DispersionCDF returns cdf[t] = P(τ_par <= t) for t = 0..T.
+func (e *Parallel) DispersionCDF(T int) []float64 {
+	// Initial state: all n particles at the origin; one settles there at
+	// round 0.
+	initPos := make([]byte, e.n-1)
+	for i := range initPos {
+		initPos[i] = byte(e.origin)
+	}
+	cur := map[pstate]float64{
+		{occ: 1 << uint(e.origin), pos: string(initPos)}: 1,
+	}
+	cdf := make([]float64, T+1)
+	var done float64
+	if e.n == 1 {
+		for t := range cdf {
+			cdf[t] = 1
+		}
+		return cdf
+	}
+	for t := 1; t <= T; t++ {
+		next := make(map[pstate]float64, len(cur)*4)
+		for st, p := range cur {
+			e.advance(st, p, next, &done, t == 0)
+		}
+		// States that completed during this round contributed to done.
+		cdf[t] = done
+		cur = next
+		if done > 1-1e-13 {
+			for u := t + 1; u <= T; u++ {
+				cdf[u] = cdf[t]
+			}
+			break
+		}
+	}
+	return cdf
+}
+
+// advance enumerates all joint moves of the unsettled particles from st,
+// applies settlement, and accumulates the successor distribution. Runs
+// that finish add their mass to done.
+func (e *Parallel) advance(st pstate, p float64, next map[pstate]float64, done *float64, _ bool) {
+	m := len(st.pos)
+	// Enumerate the joint move by mixed-radix counting over each
+	// particle's neighbour choices. Probabilities are uniform products.
+	choices := make([]int32, m)
+	var rec func(i int, prob float64)
+	rec = func(i int, prob float64) {
+		if i == m {
+			e.applyRound(st.occ, choices, p*prob, next, done)
+			return
+		}
+		v := int(st.pos[i])
+		deg := e.g.Degree(v)
+		w := 1.0 / float64(deg)
+		for _, u := range e.g.Neighbors(v) {
+			choices[i] = u
+			rec(i+1, prob*w)
+		}
+	}
+	rec(0, 1)
+}
+
+// applyRound performs settlement resolution for a realised joint move.
+func (e *Parallel) applyRound(occ uint32, arrivals []int32, p float64, next map[pstate]float64, done *float64) {
+	// One settler per vacant vertex with arrivals.
+	var remaining []byte
+	newOcc := occ
+	taken := uint32(0)
+	for _, v := range arrivals {
+		bit := uint32(1) << uint(v)
+		if newOcc&bit == 0 && taken&bit == 0 {
+			taken |= bit
+			newOcc |= bit
+		} else {
+			remaining = append(remaining, byte(v))
+		}
+	}
+	if len(remaining) == 0 {
+		*done += p
+		return
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	key := pstate{occ: newOcc, pos: string(remaining)}
+	next[key] += p
+}
+
+// ExpectedDispersion returns the exact E[τ_par] up to the truncation
+// horizon T, with the residual tail mass.
+func (e *Parallel) ExpectedDispersion(T int) (mean, tailMass float64) {
+	cdf := e.DispersionCDF(T)
+	for t := 0; t < T; t++ {
+		mean += 1 - cdf[t]
+	}
+	return mean, 1 - cdf[T]
+}

@@ -1,0 +1,306 @@
+// Package graph provides the finite-graph substrate for the dispersion
+// simulator: a compact CSR (compressed sparse row) adjacency representation,
+// constructors for every graph family analysed in the paper, and the basic
+// traversal utilities (BFS, connectivity, bipartiteness) the analytics need.
+//
+// Vertices are integers in [0, N). The representation is immutable after
+// construction so graphs can be shared freely across goroutines.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected, unweighted graph in CSR form. The neighbour list
+// of vertex v is adj[offsets[v]:offsets[v+1]]. Parallel edges and
+// self-loops are rejected at construction; all graphs in the paper are
+// simple.
+type Graph struct {
+	name    string
+	offsets []int32
+	adj     []int32
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns the human-readable family label given at construction.
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the neighbour list of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Neighbor returns the i-th neighbour of v, for 0 <= i < Degree(v). It is
+// the hot call of every random-walk step and is kept free of bounds
+// arithmetic beyond the two slice indexes.
+func (g *Graph) Neighbor(v int, i int32) int32 {
+	return g.adj[g.offsets[v]+i]
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum vertex degree.
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for v := 1; v < g.N(); v++ {
+		if d := g.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// IsRegular reports whether every vertex has the same degree.
+func (g *Graph) IsRegular() bool {
+	return g.N() == 0 || g.MaxDegree() == g.MinDegree()
+}
+
+// HasEdge reports whether {u, v} is an edge, by binary search over the
+// sorted neighbour list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v int) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, in sorted order.
+func (g *Graph) Edges() [][2]int32 {
+	es := make([][2]int32, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				es = append(es, [2]int32{int32(u), v})
+			}
+		}
+	}
+	return es
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops cause Build to fail, which keeps random generators
+// honest about producing simple graphs.
+type Builder struct {
+	n     int
+	name  string
+	edges [][2]int32
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(name string, n int) *Builder {
+	return &Builder{n: n, name: name}
+}
+
+// AddEdge records the undirected edge {u, v}. Ordering of the endpoints is
+// irrelevant. Validity is checked at Build time.
+func (b *Builder) AddEdge(u, v int) {
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build validates the accumulated edges and returns the CSR graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n <= 0 {
+		return nil, errors.New("graph: builder needs at least one vertex")
+	}
+	deg := make([]int32, b.n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", u)
+		}
+		if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	offsets := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{name: b.name, offsets: offsets, adj: adj}
+	// Sort each neighbour list and reject duplicates (parallel edges).
+	for v := 0; v < b.n; v++ {
+		ns := g.adj[offsets[v]:offsets[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		for i := 1; i < len(ns); i++ {
+			if ns[i] == ns[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, ns[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build for statically correct constructions; it panics on
+// error and is used by the deterministic family constructors whose inputs
+// are validated up front.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BFS returns the vector of hop distances from src, with -1 for vertices
+// unreachable from src.
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBipartite reports whether the graph is bipartite (2-colourable). The
+// simple random walk is periodic exactly on bipartite graphs, which is why
+// the paper's set-hitting bounds switch to lazy walks.
+func (g *Graph) IsBipartite() bool {
+	color := make([]int8, g.N())
+	for s := 0; s < g.N(); s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(int(u)) {
+				if color[v] == 0 {
+					color[v] = -color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Diameter returns the graph diameter via BFS from every vertex. Intended
+// for the moderate sizes used in experiments; O(N·M) time.
+func (g *Graph) Diameter() int {
+	diam := int32(0)
+	for v := 0; v < g.N(); v++ {
+		for _, d := range g.BFS(v) {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return int(diam)
+}
+
+// Eccentricity returns max_u dist(v, u).
+func (g *Graph) Eccentricity(v int) int {
+	ecc := int32(0)
+	for _, d := range g.BFS(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return int(ecc)
+}
+
+// DegreeSum returns the sum of degrees (2·M); it is the normaliser of the
+// stationary distribution π(v) = deg(v) / DegreeSum.
+func (g *Graph) DegreeSum() int { return len(g.adj) }
+
+// Induced returns the subgraph induced by the given vertices, relabelled
+// 0..len(vertices)-1 in the given order, together with the old-to-new
+// vertex mapping (-1 for dropped vertices). Duplicate vertices are
+// rejected.
+func (g *Graph) Induced(vertices []int) (*Graph, []int, error) {
+	remap := make([]int, g.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range vertices {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range", v)
+		}
+		if remap[v] >= 0 {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		remap[v] = i
+	}
+	b := NewBuilder(g.name+"-induced", len(vertices))
+	for _, v := range vertices {
+		for _, u := range g.Neighbors(v) {
+			if remap[u] >= 0 && remap[v] < remap[u] {
+				b.AddEdge(remap[v], remap[u])
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, remap, nil
+}

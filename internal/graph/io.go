@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList serialises the graph as a plain-text edge list:
+// a header line "n <vertices> <name>" followed by one "u v" line per edge
+// (u < v). The format round-trips through ReadEdgeList.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d %s\n", g.N(), g.name); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	var n int
+	var name string
+	header := sc.Text()
+	if _, err := fmt.Sscanf(header, "n %d %s", &n, &name); err != nil {
+		// The name may be absent.
+		if _, err2 := fmt.Sscanf(header, "n %d", &n); err2 != nil {
+			return nil, fmt.Errorf("graph: bad header %q", header)
+		}
+		name = "loaded"
+	}
+	b := NewBuilder(name, n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge at line %d: %q", line, text)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteDOT serialises the graph in Graphviz DOT format, optionally
+// highlighting a set of vertices (e.g. an IDLA aggregate snapshot).
+func (g *Graph) WriteDOT(w io.Writer, highlight map[int]bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle];\n",
+		strings.ReplaceAll(g.name, "\"", "")); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if highlight[v] {
+			if _, err := fmt.Fprintf(bw, "  %d [style=filled fillcolor=gray];\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dispersion/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Path(7), Lollipop(12), Hypercube(4), RandomTree(20, rng.New(1))} {
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("%s: round trip changed size: %d/%d -> %d/%d",
+				g.Name(), g.N(), g.M(), back.N(), back.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			ns, bs := g.Neighbors(v), back.Neighbors(v)
+			if len(ns) != len(bs) {
+				t.Fatalf("%s: vertex %d degree changed", g.Name(), v)
+			}
+			for i := range ns {
+				if ns[i] != bs[i] {
+					t.Fatalf("%s: vertex %d neighbours changed", g.Name(), v)
+				}
+			}
+		}
+		if back.Name() != g.Name() {
+			t.Errorf("name not preserved: %q -> %q", g.Name(), back.Name())
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "n 3 tri\n# comment\n0 1\n\n1 2\n0 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("parsed %d/%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"bogus header\n",
+		"n 3 x\n0 nonsense\n",
+		"n 3 x\n0 7\n", // out of range
+		"n 3 x\n1 1\n", // self loop
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadEdgeListHeaderWithoutName(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 2\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatal("bad parse")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Cycle(4)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, map[int]bool{1: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph", "0 -- 1", "2 -- 3", "fillcolor=gray", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

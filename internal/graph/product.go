@@ -1,0 +1,82 @@
+package graph
+
+import "fmt"
+
+// Cartesian returns the Cartesian product G □ H: vertices are pairs
+// (u, h) indexed as u*H.N()+h, with (u,h) ~ (u',h') iff u=u' and h~h', or
+// h=h' and u~u'. Grids are products of paths, tori products of cycles,
+// and the hypercube is an iterated product of K_2 — the constructor is
+// validated against those identities in tests.
+func Cartesian(g, h *Graph) *Graph {
+	gn, hn := g.N(), h.N()
+	b := NewBuilder(fmt.Sprintf("(%s)x(%s)", g.Name(), h.Name()), gn*hn)
+	for u := 0; u < gn; u++ {
+		base := u * hn
+		for x := 0; x < hn; x++ {
+			for _, y := range h.Neighbors(x) {
+				if x < int(y) {
+					b.AddEdge(base+x, base+int(y))
+				}
+			}
+		}
+	}
+	for x := 0; x < hn; x++ {
+		for u := 0; u < gn; u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < int(v) {
+					b.AddEdge(u*hn+x, int(v)*hn+x)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Comb returns the comb graph on a spine of length spine with a tooth
+// (path) of length tooth hanging from every spine vertex — the comb
+// lattice of the IDLA literature ([23] in the paper), a useful stress
+// case because hitting times are dominated by teeth. Vertices: spine is
+// 0..spine-1; tooth j of spine vertex i occupies spine + i*tooth + j.
+func Comb(spine, tooth int) *Graph {
+	if spine < 1 || tooth < 0 {
+		panic("graph: Comb requires spine >= 1, tooth >= 0")
+	}
+	n := spine * (tooth + 1)
+	b := NewBuilder(fmt.Sprintf("comb-%dx%d", spine, tooth), n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1)
+	}
+	for i := 0; i < spine; i++ {
+		prev := i
+		for j := 0; j < tooth; j++ {
+			cur := spine + i*tooth + j
+			b.AddEdge(prev, cur)
+			prev = cur
+		}
+	}
+	return b.MustBuild()
+}
+
+// Barbell returns two cliques of size k joined by a path of length
+// bridge (bridge >= 1 edges, bridge-1 intermediate vertices): the classic
+// slow-mixing gadget complementing the lollipop. Vertices 0..k-1 form the
+// first clique, the last k vertices the second.
+func Barbell(k, bridge int) *Graph {
+	if k < 2 || bridge < 1 {
+		panic("graph: Barbell requires k >= 2, bridge >= 1")
+	}
+	n := 2*k + bridge - 1
+	b := NewBuilder(fmt.Sprintf("barbell-%d-%d", k, bridge), n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(n-1-i, n-1-j)
+		}
+	}
+	// Path from clique 1's vertex k-1 through the bridge to clique 2's
+	// vertex n-k.
+	for i := k - 1; i < n-k; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,55 @@
+package markov
+
+import (
+	"dispersion/internal/graph"
+)
+
+// TransitionProbability returns p^t(u, v) for the simple or lazy walk by
+// evolving the point distribution at u for t steps. O(t·M) time.
+func TransitionProbability(g *graph.Graph, u, v, t int, lazy bool) float64 {
+	cur := make([]float64, g.N())
+	next := make([]float64, g.N())
+	cur[u] = 1
+	for s := 0; s < t; s++ {
+		Step(g, cur, next, lazy)
+		cur, next = next, cur
+	}
+	return cur[v]
+}
+
+// ExpectedReturns returns Σ_{t=0..T} p̃^t(u, u), the expected number of
+// visits to u (including time 0) of a length-T lazy walk started at u.
+// This is the quantity controlled in the paper's hypercube analysis
+// (Theorem 5.7) and the Appendix C set-hitting bounds.
+func ExpectedReturns(g *graph.Graph, u, T int, lazy bool) float64 {
+	cur := make([]float64, g.N())
+	next := make([]float64, g.N())
+	cur[u] = 1
+	total := 1.0 // t = 0
+	for t := 1; t <= T; t++ {
+		Step(g, cur, next, lazy)
+		cur, next = next, cur
+		total += cur[u]
+	}
+	return total
+}
+
+// LemmaC2Bound evaluates the first bound of Lemma C.2 for a regular graph:
+//
+//	t_hit(v, S) <= 5/(1-e⁻¹) · n(1+⌈log |S|⌉) / ((1-λ2)|S|)
+//
+// where λ2 is the second eigenvalue of the lazy chain. It is an upper
+// bound on the lazy-walk hitting time of any set of the given size from
+// any start, used by the Theorem 3.3/3.5 machinery.
+func LemmaC2Bound(n, setSize int, lambda2Lazy float64) float64 {
+	if setSize < 1 {
+		panic("markov: set size must be >= 1")
+	}
+	// 1 + ceil(log2 |S|); for |S| = 1 the log term is 0.
+	logS := 0
+	for s := 1; s < setSize; s *= 2 {
+		logS++
+	}
+	const c = 5.0 / (1.0 - 0.36787944117144233) // 5/(1-e⁻¹)
+	return c * float64(n) * float64(1+logS) / ((1 - lambda2Lazy) * float64(setSize))
+}

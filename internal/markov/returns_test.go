@@ -1,0 +1,102 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"dispersion/internal/graph"
+)
+
+func TestTransitionProbabilityCycle(t *testing.T) {
+	g := graph.Cycle(8)
+	// One simple step: 1/2 to each neighbour.
+	if p := TransitionProbability(g, 0, 1, 1, false); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("p^1(0,1) = %g", p)
+	}
+	// Two simple steps: return probability 1/2 on a cycle.
+	if p := TransitionProbability(g, 0, 0, 2, false); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("p^2(0,0) = %g", p)
+	}
+	// Odd-step return on a bipartite cycle is 0 (simple walk periodicity).
+	if p := TransitionProbability(g, 0, 0, 3, false); p != 0 {
+		t.Errorf("p^3(0,0) = %g on bipartite cycle", p)
+	}
+	// The lazy walk breaks periodicity.
+	if p := TransitionProbability(g, 0, 0, 3, true); p <= 0 {
+		t.Error("lazy odd-step return should be positive")
+	}
+}
+
+func TestTransitionProbabilityComplete(t *testing.T) {
+	n := 10
+	g := graph.Complete(n)
+	// p^2(u,u) = 1/(n-1) for the simple walk on K_n.
+	if p := TransitionProbability(g, 0, 0, 2, false); math.Abs(p-1.0/9.0) > 1e-12 {
+		t.Errorf("K_10 p^2(0,0) = %g, want 1/9", p)
+	}
+}
+
+func TestExpectedReturnsHypercubeIsConstant(t *testing.T) {
+	// The paper's Theorem 5.7 hinges on Σ_{t<=log²n} p̃^t(u,u) = O(1) on
+	// the hypercube: verify it stays small as k grows.
+	prev := 0.0
+	for _, k := range []int{5, 7, 9} {
+		g := graph.Hypercube(k)
+		T := int(math.Pow(math.Log2(float64(g.N())), 2))
+		r := ExpectedReturns(g, 0, T, true)
+		if r > 3.2 {
+			t.Errorf("hypercube k=%d: expected returns %.3f over log²n steps, want O(1)", k, r)
+		}
+		if prev != 0 && r > prev+0.3 {
+			t.Errorf("expected returns growing with k: %.3f -> %.3f", prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestExpectedReturnsCycleGrows(t *testing.T) {
+	// On the cycle returns accumulate like sqrt(T): contrast with the
+	// hypercube above.
+	g := graph.Cycle(64)
+	r := ExpectedReturns(g, 0, 400, true)
+	if r < 5 {
+		t.Errorf("cycle expected returns %.2f over 400 steps, want >> O(1)", r)
+	}
+}
+
+func TestLemmaC2BoundDominatesExactSetHitting(t *testing.T) {
+	// Verify the Lemma C.2 upper bound against exact lazy set-hitting
+	// times on regular graphs, across set sizes.
+	for _, g := range []*graph.Graph{graph.Hypercube(5), graph.Cycle(32), graph.Complete(32)} {
+		sp := SpectralGap(g, 200000, 1e-13)
+		for _, size := range []int{1, 2, 4, 8} {
+			set := make([]int, size)
+			for i := range set {
+				set[i] = (i * g.N()) / size // spread the set out
+			}
+			h, err := HitSetFrom(g, set, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for _, v := range h {
+				if v > worst {
+					worst = v
+				}
+			}
+			bound := LemmaC2Bound(g.N(), size, sp.Lambda2Lazy)
+			if worst > bound {
+				t.Errorf("%s |S|=%d: exact lazy t_hit %.1f exceeds Lemma C.2 bound %.1f",
+					g.Name(), size, worst, bound)
+			}
+		}
+	}
+}
+
+func TestLemmaC2BoundMonotoneInSetSize(t *testing.T) {
+	// Larger sets are easier to hit; the bound reflects it up to the log
+	// term: compare sizes a factor 4 apart where the 1/|S| wins.
+	if LemmaC2Bound(1024, 16, 0.5) <= LemmaC2Bound(1024, 64, 0.5) {
+		t.Error("bound should shrink for much larger sets")
+	}
+}

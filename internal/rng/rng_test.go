@@ -1,0 +1,280 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 64", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	a2 := root.Split(1)
+	for i := 0; i < 100; i++ {
+		va, va2 := a.Uint64(), a2.Uint64()
+		if va != va2 {
+			t.Fatalf("Split(1) not reproducible at step %d", i)
+		}
+		if va == b.Uint64() {
+			t.Fatalf("Split(1) and Split(2) collided at step %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Split(3)
+	_ = a.Split(4, 5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent source")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 40; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(5)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %.4f, want ~1", mean)
+	}
+}
+
+func TestExpRate(t *testing.T) {
+	r := New(14)
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += r.ExpRate(4)
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("ExpRate(4) mean %.4f, want ~0.25", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(15)
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		const trials = 100000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		mean := sum / trials
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.05*want+0.05 {
+			t.Errorf("Geometric(%g) mean %.4f, want ~%.4f", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricNonNegative(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		return r.Geometric(0.3) >= 0 && r.Geometric(1) == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(16)
+	for _, tc := range []struct {
+		n int64
+		p float64
+	}{{10, 0.5}, {100, 0.05}, {1000, 0.9}, {5, 1}, {5, 0}} {
+		const trials = 50000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%g) = %d out of range", tc.n, tc.p, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(float64(tc.n) * tc.p * (1 - tc.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(trials)+1e-9 {
+			t.Errorf("Binomial(%d,%g) mean %.3f, want ~%.3f", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(17)
+	for _, lambda := range []float64{0.5, 3, 25, 100} {
+		const trials = 50000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / trials
+		tol := 5 * math.Sqrt(lambda/trials)
+		if math.Abs(mean-lambda) > tol+0.01 {
+			t.Errorf("Poisson(%g) mean %.3f, want ~%g", lambda, mean, lambda)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(18)
+	const trials = 200000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal mean %.4f var %.4f, want ~0 and ~1", mean, variance)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(19)
+	const trials = 100000
+	trues := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)-trials/2) > 5*math.Sqrt(trials)/2 {
+		t.Fatalf("Bool returned true %d of %d times", trues, trials)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}
