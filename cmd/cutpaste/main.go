@@ -15,10 +15,9 @@ import (
 	"fmt"
 	"os"
 
-	"dispersion/internal/bench"
+	"dispersion"
+	"dispersion/graphspec"
 	"dispersion/internal/block"
-	"dispersion/internal/core"
-	"dispersion/internal/rng"
 )
 
 func main() {
@@ -42,15 +41,15 @@ func main() {
 	}
 	printBlock("CP_(3,1)(L)", cp)
 
-	g, err := bench.ParseGraph(*graphSpec, *seed)
+	g, err := graphspec.Build(*graphSpec, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Sequential(g, 0, core.Options{Record: true}, rng.New(*seed))
+	res, err := dispersion.Run("sequential", g, 0, *seed, dispersion.WithRecord())
 	if err != nil {
 		fatal(err)
 	}
-	b, err := block.FromResult(res)
+	b, err := block.FromTrajectories(res.Trajectories)
 	if err != nil {
 		fatal(err)
 	}

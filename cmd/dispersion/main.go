@@ -13,20 +13,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
-	"dispersion/internal/bench"
-	"dispersion/internal/core"
+	"dispersion"
+	"dispersion/graphspec"
 	"dispersion/internal/stats"
 )
 
 func main() {
 	var (
 		graphSpec = flag.String("graph", "complete:128", "graph family spec (see package doc)")
-		process   = flag.String("process", "seq", "process: seq|par|unif|ctu|ctseq")
+		process   = flag.String("process", "seq", "process: seq|par|unif|ctu|ctseq (or a lazy- prefix)")
 		origin    = flag.Int("origin", 0, "origin vertex")
 		trials    = flag.Int("trials", 100, "number of independent trials")
 		seed      = flag.Uint64("seed", 1, "random seed (reproducible)")
@@ -35,16 +36,29 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := bench.ParseGraph(*graphSpec, *seed)
+	g, err := graphspec.Build(*graphSpec, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	p, err := bench.ParseProcess(*process)
+	p, err := dispersion.Lookup(*process)
 	if err != nil {
 		fatal(err)
 	}
-	opt := core.Options{Lazy: *lazy}
-	xs := bench.SampleDispersion(g, *origin, p, opt, *trials, *seed, 0xd15b)
+	var opts []dispersion.Option
+	if *lazy {
+		opts = append(opts, dispersion.WithLazy())
+	}
+	eng := dispersion.Engine{Seed: *seed, Experiment: 0xd15b}
+	xs, err := eng.Sample(context.Background(), dispersion.Job{
+		Process: p.Name(),
+		Graph:   g,
+		Origin:  *origin,
+		Trials:  *trials,
+		Options: opts,
+	})
+	if err != nil {
+		fatal(err)
+	}
 	s := stats.Summarize(xs)
 	if *quiet {
 		fmt.Printf("%.6g\n", s.Mean)
@@ -53,7 +67,7 @@ func main() {
 	lo, hi := s.CI95()
 	fmt.Printf("graph        %s (n=%d, m=%d)\n", g.Name(), g.N(), g.M())
 	fmt.Printf("process      %s (lazy=%v), origin %d, %d trials, seed %d\n",
-		p, *lazy, *origin, *trials, *seed)
+		p.Name(), *lazy, *origin, *trials, *seed)
 	fmt.Printf("dispersion   mean %.4g   95%% CI [%.4g, %.4g]\n", s.Mean, lo, hi)
 	fmt.Printf("             median %.4g   min %.4g   max %.4g   sd %.4g\n",
 		s.Median, s.Min, s.Max, s.StdDev)

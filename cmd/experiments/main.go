@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"dispersion/internal/bench"
+	"dispersion/experiments"
 )
 
 func main() {
@@ -28,13 +28,13 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
 	if *verbose {
 		cfg.Out = os.Stderr
 	}
 
 	if *only == "" {
-		failed := bench.RunAll(cfg, os.Stdout)
+		failed := experiments.RunAll(cfg, os.Stdout)
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "\n%d experiment(s) flagged CHECK\n", failed)
 			os.Exit(1)
@@ -45,7 +45,7 @@ func main() {
 	exitCode := 0
 	for _, id := range strings.Split(*only, ",") {
 		id = strings.TrimSpace(id)
-		e, ok := bench.Get(id)
+		e, ok := experiments.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
 			os.Exit(2)

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"dispersion/internal/bench"
+	"dispersion/graphspec"
 	"dispersion/internal/bounds"
 	"dispersion/internal/markov"
 )
@@ -27,7 +27,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := bench.ParseGraph(*graphSpec, *seed)
+	g, err := graphspec.Build(*graphSpec, *seed)
 	if err != nil {
 		fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"dispersion/internal/bench"
+	"dispersion/experiments"
 )
 
 func main() {
@@ -24,18 +24,18 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
 	if *verbose {
 		cfg.Out = os.Stderr
 	}
-	rows, err := bench.Table1(cfg)
+	rows, err := experiments.Table1(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
 	fmt.Println("Measured analogue of Table 1 (simulated means; exact t_hit; lazy TV t_mix at eps=1/4)")
 	fmt.Println()
-	bench.RenderTable1(rows, os.Stdout)
+	experiments.RenderTable1(rows, os.Stdout)
 	fmt.Println()
 	fmt.Println("Paper asymptotics per family:")
 	for _, r := range rows {

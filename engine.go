@@ -1,0 +1,129 @@
+package dispersion
+
+import (
+	"context"
+	"fmt"
+
+	"dispersion/graphspec"
+	"dispersion/internal/walk"
+)
+
+// Engine runs many independent trials of a registered process across all
+// cores with fully deterministic randomness: trial i of a job always
+// draws from the split stream (Seed, Experiment, i), so results are
+// bit-for-bit identical for any Workers setting and any GOMAXPROCS.
+//
+// The zero Engine is ready to use (seed 0, experiment 0, one worker per
+// core).
+type Engine struct {
+	// Seed roots all randomness, including random graph families built
+	// from Job.Spec. Equal seeds reproduce results exactly.
+	Seed uint64
+	// Experiment namespaces the trial streams so different experiments
+	// sharing a seed do not correlate.
+	Experiment uint64
+	// Workers caps the degree of parallelism; 0 means one per core. The
+	// setting affects scheduling only, never results.
+	Workers int
+}
+
+// Job describes one batch of trials: a process, a graph, and run options.
+type Job struct {
+	// Process is the registry name of the process to run, e.g.
+	// "parallel" or "ctu" (see Processes for the full list).
+	Process string
+	// Graph is the graph to disperse on. If nil, Spec is parsed and
+	// built with the engine seed instead.
+	Graph *Graph
+	// Spec is a textual graph-family spec (see dispersion/graphspec),
+	// used when Graph is nil.
+	Spec string
+	// Origin is the common start vertex (ignored under
+	// WithRandomOrigins).
+	Origin int
+	// Trials is the number of independent realizations to run.
+	Trials int
+	// Options configure every trial identically.
+	Options []Option
+}
+
+// Trial is one realization delivered to an Engine.Run callback.
+type Trial struct {
+	// Index is the trial number in [0, Trials); callbacks always see
+	// indices in increasing order.
+	Index int
+	// Result is the trial's full outcome.
+	Result *Result
+}
+
+// Run executes job.Trials independent realizations and streams each
+// result to the callback in strict trial order, without buffering more
+// than a small scheduling window — arbitrarily long runs use bounded
+// memory. each may be nil to discard results (e.g. when only checking
+// that a configuration runs).
+//
+// Run stops at the first error — from the context, a trial, or the
+// callback — and returns it.
+func (e Engine) Run(ctx context.Context, job Job, each func(Trial) error) error {
+	p, err := Lookup(job.Process)
+	if err != nil {
+		return err
+	}
+	g := job.Graph
+	if g == nil {
+		if job.Spec == "" {
+			return fmt.Errorf("dispersion: job needs a Graph or a Spec")
+		}
+		g, err = graphspec.Build(job.Spec, e.Seed)
+		if err != nil {
+			return err
+		}
+	}
+	if job.Trials <= 0 {
+		return fmt.Errorf("dispersion: job wants %d trials (need at least 1)", job.Trials)
+	}
+	rn := walk.NewRunner(e.Seed, e.Experiment)
+	if e.Workers > 0 {
+		rn.SetWorkers(e.Workers)
+	}
+	return walk.Stream(ctx, rn, job.Trials,
+		func(i int, r *Source) (*Result, error) {
+			return p.Run(g, job.Origin, r, job.Options...)
+		},
+		func(i int, res *Result) error {
+			if each == nil {
+				return nil
+			}
+			return each(Trial{Index: i, Result: res})
+		})
+}
+
+// Sample runs the job and returns each trial's Makespan — the dispersion
+// time on the process's natural scale — in trial order. It is the common
+// reduction for statistics over many trials.
+func (e Engine) Sample(ctx context.Context, job Job) ([]float64, error) {
+	out := make([]float64, 0, max(job.Trials, 0))
+	err := e.Run(ctx, job, func(t Trial) error {
+		out = append(out, t.Result.Makespan())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TotalSteps runs the job and returns each trial's total jump count in
+// trial order (Theorem 4.1's conserved quantity across the Sequential and
+// Parallel processes).
+func (e Engine) TotalSteps(ctx context.Context, job Job) ([]float64, error) {
+	out := make([]float64, 0, max(job.Trials, 0))
+	err := e.Run(ctx, job, func(t Trial) error {
+		out = append(out, float64(t.Result.TotalSteps))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

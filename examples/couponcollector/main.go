@@ -6,27 +6,37 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"dispersion/internal/bench"
+	"dispersion"
 	"dispersion/internal/bounds"
-	"dispersion/internal/core"
-	"dispersion/internal/stats"
-
 	"dispersion/internal/graph"
+	"dispersion/internal/stats"
 )
 
 func main() {
+	ctx := context.Background()
 	kcc := bounds.KappaCC()
 	fmt.Printf("κ_cc (Lemma 5.1, numeric integral) = %.4f\n", kcc)
 	fmt.Printf("π²/6                               = %.4f\n\n", bounds.PiSquaredOver6)
+
+	sample := func(g *dispersion.Graph, process string, trials int, seed, experiment uint64) []float64 {
+		eng := dispersion.Engine{Seed: seed, Experiment: experiment}
+		xs, err := eng.Sample(ctx, dispersion.Job{Process: process, Graph: g, Trials: trials})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return xs
+	}
 
 	fmt.Println("n      t_seq/n   t_par/n   (expect -> κ_cc and π²/6)")
 	for _, n := range []int{128, 256, 512} {
 		g := graph.Complete(n)
 		trials := 200
-		seq := bench.MeanDispersion(g, 0, bench.Seq, core.Options{}, trials, 7, 1)
-		par := bench.MeanDispersion(g, 0, bench.Par, core.Options{}, trials, 7, 2)
+		seq := stats.Summarize(sample(g, "sequential", trials, 7, 1))
+		par := stats.Summarize(sample(g, "parallel", trials, 7, 2))
 		fmt.Printf("%-6d %.4f    %.4f\n", n, seq.Mean/float64(n), par.Mean/float64(n))
 	}
 
@@ -34,9 +44,8 @@ func main() {
 	// waiting times — its distribution is far wider than the mean
 	// suggests. Show the quartiles for intuition.
 	n := 512
-	xs := bench.SampleDispersion(graph.Complete(n), 0, bench.Seq, core.Options{}, 400, 11, 3)
-	sorted := append([]float64(nil), xs...)
-	s := stats.Summarize(sorted)
+	xs := sample(graph.Complete(n), "sequential", 400, 11, 3)
+	s := stats.Summarize(xs)
 	fmt.Printf("\nK_%d sequential dispersion: mean %.0f, median %.0f, max %.0f\n",
 		n, s.Mean, s.Median, s.Max)
 	fmt.Printf("the longest waiting time has heavy upper fluctuations: max/mean = %.2f\n",

@@ -8,29 +8,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dispersion/internal/bench"
-	"dispersion/internal/core"
-	"dispersion/internal/graph"
-	"dispersion/internal/rng"
+	"dispersion"
+	"dispersion/graphspec"
 	"dispersion/internal/stats"
 )
 
 func main() {
+	ctx := context.Background()
 	// A 4-regular random network of 512 servers; job gateway at server 0.
-	net, err := graph.RandomRegular(512, 4, rng.New(99))
+	net, err := graphspec.Build("regular:512,4", 99)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const trials = 150
 	fmt.Printf("network: %s, %d servers, diameter %d\n\n", net.Name(), net.N(), net.Diameter())
 
-	seqDisp := bench.SampleDispersion(net, 0, bench.Seq, core.Options{}, trials, 5, 1)
-	parDisp := bench.SampleDispersion(net, 0, bench.Par, core.Options{}, trials, 5, 2)
-	seqTot := bench.SampleTotalSteps(net, 0, bench.Seq, core.Options{}, trials, 5, 3)
-	parTot := bench.SampleTotalSteps(net, 0, bench.Par, core.Options{}, trials, 5, 4)
+	job := func(process string) dispersion.Job {
+		return dispersion.Job{Process: process, Graph: net, Trials: trials}
+	}
+	engine := func(experiment uint64) dispersion.Engine {
+		return dispersion.Engine{Seed: 5, Experiment: experiment}
+	}
+	seqDisp, err := engine(1).Sample(ctx, job("sequential"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parDisp, err := engine(2).Sample(ctx, job("parallel"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqTot, err := engine(3).TotalSteps(ctx, job("sequential"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parTot, err := engine(4).TotalSteps(ctx, job("parallel"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ss, ps := stats.Summarize(seqDisp), stats.Summarize(parDisp)
 	st, pt := stats.Summarize(seqTot), stats.Summarize(parTot)

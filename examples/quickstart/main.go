@@ -1,26 +1,29 @@
-// Quickstart: run the two headline dispersion processes on a small graph,
-// inspect the results, and see the Cut & Paste coupling of Theorem 4.1 in
-// action on a single recorded history.
+// Quickstart: run the two headline dispersion processes through the
+// public dispersion facade, inspect the results, and see the Cut & Paste
+// coupling of Theorem 4.1 in action on a single recorded history.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"dispersion"
+	"dispersion/graphspec"
 	"dispersion/internal/block"
-	"dispersion/internal/core"
-	"dispersion/internal/graph"
-	"dispersion/internal/rng"
 )
 
 func main() {
 	// A 12x12 torus: 144 vertices, so 144 particles start at the origin.
-	g := graph.Grid([]int{12, 12}, true)
+	g, err := graphspec.Build("torus:12x12", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	origin := 0
-	r := rng.New(2019) // SPAA 2019
+	seed := uint64(2019) // SPAA 2019
 
-	// Sequential-IDLA: particles walk one at a time.
-	seq, err := core.Sequential(g, origin, core.Options{Record: true}, r)
+	// Sequential-IDLA: particles walk one at a time. WithRecord keeps the
+	// full trajectories for the block transforms below.
+	seq, err := dispersion.Run("sequential", g, origin, seed, dispersion.WithRecord())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +32,7 @@ func main() {
 	fmt.Printf("  total steps by all particles:   %d\n", seq.TotalSteps)
 
 	// Parallel-IDLA: all particles move simultaneously each round.
-	par, err := core.Parallel(g, origin, core.Options{}, r)
+	par, err := dispersion.Run("parallel", g, origin, seed+1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +54,7 @@ func main() {
 	// sequential history into a parallel history. Total length is
 	// preserved and the longest row can only grow (Lemma 4.6) — this is
 	// exactly why τ_seq ⪯ τ_par (Theorem 4.1).
-	b, err := block.FromResult(seq)
+	b, err := block.FromTrajectories(seq.Trajectories)
 	if err != nil {
 		log.Fatal(err)
 	}

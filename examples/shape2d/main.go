@@ -11,9 +11,8 @@ import (
 	"log"
 	"math"
 
-	"dispersion/internal/core"
+	"dispersion"
 	"dispersion/internal/graph"
-	"dispersion/internal/rng"
 )
 
 func main() {
@@ -22,7 +21,7 @@ func main() {
 	g := graph.Grid(sides, false)
 	centre := graph.GridIndex(sides, []int{side / 2, side / 2})
 
-	res, err := core.Sequential(g, centre, core.Options{}, rng.New(7))
+	res, err := dispersion.Run("sequential", g, centre, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

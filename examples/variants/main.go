@@ -5,43 +5,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dispersion/internal/bench"
-	"dispersion/internal/core"
-	"dispersion/internal/graph"
-	"dispersion/internal/rng"
+	"dispersion"
+	"dispersion/graphspec"
+	"dispersion/internal/stats"
 )
 
 func main() {
-	g, err := graph.RandomRegular(256, 4, rng.New(3))
+	ctx := context.Background()
+	g, err := graphspec.Build("regular:256,4", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	n := g.N()
 	const trials = 120
 
+	mean := func(experiment uint64, opts ...dispersion.Option) float64 {
+		eng := dispersion.Engine{Seed: 9, Experiment: experiment}
+		xs, err := eng.Sample(ctx, dispersion.Job{
+			Process: "parallel", Graph: g, Trials: trials, Options: opts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return stats.Summarize(xs).Mean
+	}
+
 	fmt.Printf("network: %s (n=%d)\n\n", g.Name(), n)
 	fmt.Println("particles k    E[τ_par]   (makespan grows with load)")
 	for _, k := range []int{n / 8, n / 4, n / 2, n} {
-		s := bench.MeanDispersion(g, 0, bench.Par, core.Options{Particles: k}, trials, 9, uint64(k))
-		fmt.Printf("%-14d %.1f\n", k, s.Mean)
+		fmt.Printf("%-14d %.1f\n", k, mean(uint64(k), dispersion.WithParticles(k)))
 	}
 
 	fmt.Println("\norigin policy        E[τ_par]")
-	common := bench.MeanDispersion(g, 0, bench.Par, core.Options{}, trials, 9, 1001)
-	random := bench.MeanDispersion(g, 0, bench.Par, core.Options{RandomOrigins: true}, trials, 9, 1002)
-	fmt.Printf("%-20s %.1f\n", "common origin", common.Mean)
-	fmt.Printf("%-20s %.1f\n", "random origins", random.Mean)
+	fmt.Printf("%-20s %.1f\n", "common origin", mean(1001))
+	fmt.Printf("%-20s %.1f\n", "random origins", mean(1002, dispersion.WithRandomOrigins()))
 
 	// The odometer shows the hotspot structure: with a common origin the
 	// origin's neighbourhood absorbs most of the traffic.
-	res, err := core.Parallel(g, 0, core.Options{Record: true}, rng.New(4))
+	res, err := dispersion.Run("parallel", g, 0, 4, dispersion.WithRecord())
 	if err != nil {
 		log.Fatal(err)
 	}
-	o, err := core.NewOdometer(g, res)
+	o, err := dispersion.NewOdometer(g, res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+// Package experiments is the public entry point to the paper's
+// reproduction suite: one registered experiment per table row /
+// quantitative claim of Rivera–Sauerwald–Stauffer–Sylvester (SPAA 2019),
+// plus the measured analogue of the paper's Table 1.
+//
+// It re-exports the internal harness so command-line tools and external
+// callers never import internal packages; the experiment implementations
+// remain in internal/bench.
+package experiments
+
+import (
+	"io"
+
+	"dispersion/internal/bench"
+)
+
+// Config controls an experiment run (seed, work scale, progress output).
+type Config = bench.Config
+
+// Experiment couples a paper claim with the code that checks it.
+type Experiment = bench.Experiment
+
+// Report is the outcome of one experiment.
+type Report = bench.Report
+
+// Table is a rendered result grid with plain-text and CSV output.
+type Table = bench.Table
+
+// Table1Row is one graph-family row of the measured analogue of the
+// paper's Table 1.
+type Table1Row = bench.Table1Row
+
+// Get returns the experiment registered under the given ID (e.g. "E01").
+func Get(id string) (Experiment, bool) { return bench.Get(id) }
+
+// All returns every registered experiment in ID order.
+func All() []Experiment { return bench.All() }
+
+// RunAll executes every experiment and writes a full report to w,
+// returning the number of failed experiments.
+func RunAll(cfg Config, w io.Writer) int { return bench.RunAll(cfg, w) }
+
+// Table1 computes the measured analogue of the paper's Table 1.
+func Table1(cfg Config) ([]Table1Row, error) { return bench.Table1(cfg) }
+
+// RenderTable1 writes the rows as an aligned plain-text table.
+func RenderTable1(rows []Table1Row, w io.Writer) { bench.RenderTable1(rows, w) }

@@ -1,0 +1,3 @@
+module dispersion
+
+go 1.24

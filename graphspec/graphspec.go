@@ -1,0 +1,197 @@
+// Package graphspec parses the compact textual graph-family specs used
+// across the command-line tools and the public dispersion facade:
+//
+//	path:N  cycle:N  complete:N  star:N  hypercube:K  bintree:LEVELS
+//	lollipop:N  hair:N  pimple:N,H  treepath:LEVELS,PATHLEN
+//	grid:AxB[xC...]  torus:AxB[xC...]  regular:N,D  gnp:N,P  tree:N
+//
+// A spec names a graph family and its parameters; random families
+// (regular, gnp, tree) are drawn deterministically from a caller-supplied
+// seed, so the same (spec, seed) pair always builds the same graph.
+//
+// Parse performs the syntax split and validates the family name; Build
+// constructs the graph. The one-shot helper Build(spec, seed) does both.
+package graphspec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+)
+
+// Spec is a parsed graph specification: a family name and its raw
+// argument string. The zero Spec is invalid.
+type Spec struct {
+	// Kind is the graph family, e.g. "complete" or "torus".
+	Kind string
+	// Args is the family's raw argument string, e.g. "128" or "16x16".
+	Args string
+}
+
+// String renders the spec back to its textual kind:args form.
+func (s Spec) String() string { return s.Kind + ":" + s.Args }
+
+// Random reports whether the family is drawn from the seed (regular, gnp,
+// tree) rather than being a deterministic construction.
+func (s Spec) Random() bool {
+	b, ok := builders[s.Kind]
+	return ok && b.random
+}
+
+// Parse splits a textual spec into a Spec, validating the family name.
+// Argument values are validated by Build.
+func Parse(spec string) (Spec, error) {
+	kind, args, ok := strings.Cut(spec, ":")
+	if !ok {
+		return Spec{}, fmt.Errorf("graphspec: spec %q needs kind:args", spec)
+	}
+	if _, known := builders[kind]; !known {
+		return Spec{}, fmt.Errorf("graphspec: unknown graph kind %q (want one of %s)",
+			kind, strings.Join(Kinds(), "|"))
+	}
+	return Spec{Kind: kind, Args: args}, nil
+}
+
+// Build constructs the graph described by the spec. Random families are
+// drawn deterministically from seed; deterministic families ignore it.
+func (s Spec) Build(seed uint64) (*graph.Graph, error) {
+	b, ok := builders[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("graphspec: unknown graph kind %q", s.Kind)
+	}
+	return b.build(s, rng.New(seed))
+}
+
+// Build is the one-shot helper: Parse followed by Spec.Build.
+func Build(spec string, seed uint64) (*graph.Graph, error) {
+	s, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(seed)
+}
+
+// Kinds returns the known family names in sorted order.
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// builder couples a family's constructor with whether it consumes the seed.
+type builder struct {
+	random bool
+	build  func(s Spec, r *rng.Source) (*graph.Graph, error)
+}
+
+var builders = map[string]builder{
+	"path":      {build: intArg(graph.Path)},
+	"cycle":     {build: intArg(graph.Cycle)},
+	"complete":  {build: intArg(graph.Complete)},
+	"star":      {build: intArg(graph.Star)},
+	"hypercube": {build: intArg(graph.Hypercube)},
+	"bintree":   {build: intArg(graph.CompleteBinaryTree)},
+	"lollipop":  {build: intArg(graph.Lollipop)},
+	"hair":      {build: intArg(graph.CliqueWithHair)},
+	"pimple": {build: intPairArg("N,H", func(n, h int) *graph.Graph {
+		return graph.CliqueWithHairOnPimple(n, h)
+	})},
+	"treepath": {build: intPairArg("LEVELS,PATHLEN", func(lv, pl int) *graph.Graph {
+		return graph.BinaryTreeWithPath(lv, pl)
+	})},
+	"grid":  {build: gridArg},
+	"torus": {build: gridArg},
+	"regular": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+		vs, err := ints(s, s.Args, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != 2 {
+			return nil, fmt.Errorf("graphspec: regular wants N,D")
+		}
+		return graph.RandomRegular(vs[0], vs[1], r)
+	}},
+	"gnp": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+		nStr, pStr, ok := strings.Cut(s.Args, ",")
+		if !ok {
+			return nil, fmt.Errorf("graphspec: gnp wants N,P")
+		}
+		n, err := atoi(s, nStr)
+		if err != nil {
+			return nil, err
+		}
+		p, err := strconv.ParseFloat(strings.TrimSpace(pStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphspec: bad probability %q", pStr)
+		}
+		return graph.GNP(n, p, r)
+	}},
+	"tree": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+		n, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(n, r), nil
+	}},
+}
+
+func atoi(s Spec, v string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return 0, fmt.Errorf("graphspec: bad integer %q in spec %q", v, s.String())
+	}
+	return n, nil
+}
+
+func ints(s Spec, v, sep string) ([]int, error) {
+	parts := strings.Split(v, sep)
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := atoi(s, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// intArg adapts a single-integer constructor.
+func intArg(ctor func(int) *graph.Graph) func(Spec, *rng.Source) (*graph.Graph, error) {
+	return func(s Spec, _ *rng.Source) (*graph.Graph, error) {
+		n, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		return ctor(n), nil
+	}
+}
+
+// intPairArg adapts a two-integer constructor.
+func intPairArg(want string, ctor func(a, b int) *graph.Graph) func(Spec, *rng.Source) (*graph.Graph, error) {
+	return func(s Spec, _ *rng.Source) (*graph.Graph, error) {
+		vs, err := ints(s, s.Args, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != 2 {
+			return nil, fmt.Errorf("graphspec: %s wants %s", s.Kind, want)
+		}
+		return ctor(vs[0], vs[1]), nil
+	}
+}
+
+func gridArg(s Spec, _ *rng.Source) (*graph.Graph, error) {
+	sides, err := ints(s, s.Args, "x")
+	if err != nil {
+		return nil, err
+	}
+	return graph.Grid(sides, s.Kind == "torus"), nil
+}

@@ -1,0 +1,121 @@
+package graphspec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuildValid(t *testing.T) {
+	cases := []struct {
+		spec  string
+		wantN int
+	}{
+		{"path:10", 10},
+		{"cycle:12", 12},
+		{"complete:8", 8},
+		{"star:9", 9},
+		{"hypercube:4", 16},
+		{"bintree:4", 15},
+		{"lollipop:10", 10},
+		{"hair:9", 9},
+		{"pimple:12,4", 12},
+		{"treepath:3,4", 11},
+		{"grid:3x4", 12},
+		{"torus:4x4x4", 64},
+		{"regular:16,3", 16},
+		{"gnp:30,0.4", 30},
+		{"tree:25", 25},
+	}
+	for _, c := range cases {
+		g, err := Build(c.spec, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("%s: N = %d, want %d", c.spec, g.N(), c.wantN)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected", c.spec)
+		}
+	}
+}
+
+func TestBuildDeterministicRandomFamilies(t *testing.T) {
+	a, err := Build("regular:32,3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("regular:32,3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestBuildInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "nosep", "unknown:5", "path:abc", "pimple:5", "gnp:10",
+		"gnp:10,notafloat", "grid:3xq", "regular:7,3", // odd n*d
+	} {
+		if _, err := Build(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("torus:16x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "torus" || s.Args != "16x16" {
+		t.Errorf("Parse = %+v", s)
+	}
+	if s.String() != "torus:16x16" {
+		t.Errorf("String() = %q", s.String())
+	}
+	if s.Random() {
+		t.Error("torus reported as random family")
+	}
+	if _, err := Parse("bogus:1"); err == nil {
+		t.Error("unknown kind accepted at parse time")
+	}
+	if _, err := Parse("noseparator"); err == nil {
+		t.Error("separator-free spec accepted")
+	}
+}
+
+func TestRandomFamilies(t *testing.T) {
+	for spec, want := range map[string]bool{
+		"regular:16,3": true, "gnp:10,0.5": true, "tree:12": true,
+		"complete:8": false, "grid:3x3": false,
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Random() != want {
+			t.Errorf("%s: Random() = %v, want %v", spec, s.Random(), want)
+		}
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != len(builders) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(kinds), len(builders))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatal("Kinds() not sorted")
+		}
+	}
+	for _, k := range kinds {
+		if _, ok := builders[k]; !ok {
+			t.Errorf("Kinds() lists unknown %q", k)
+		}
+	}
+}

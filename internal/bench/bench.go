@@ -24,7 +24,7 @@ type Config struct {
 	Out io.Writer
 }
 
-func (c Config) printf(format string, args ...interface{}) {
+func (c Config) printf(format string, args ...any) {
 	if c.Out != nil {
 		fmt.Fprintf(c.Out, format, args...)
 	}

@@ -2,11 +2,9 @@ package bench
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
+	"dispersion/graphspec"
 	"dispersion/internal/graph"
-	"dispersion/internal/rng"
 )
 
 // ParseGraph builds a graph from a compact CLI spec:
@@ -17,135 +15,12 @@ import (
 //
 // Random families (regular, gnp, tree) are drawn deterministically from
 // the given seed.
+//
+// Deprecated: ParseGraph is kept for the internal harness; new code
+// should use the public dispersion/graphspec package, which this
+// delegates to.
 func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
-	kind, arg, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("bench: graph spec %q needs kind:args", spec)
-	}
-	atoi := func(s string) (int, error) {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return 0, fmt.Errorf("bench: bad integer %q in spec %q", s, spec)
-		}
-		return v, nil
-	}
-	ints := func(s, sep string) ([]int, error) {
-		parts := strings.Split(s, sep)
-		out := make([]int, len(parts))
-		for i, p := range parts {
-			v, err := atoi(p)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	r := rng.New(seed)
-	switch kind {
-	case "path":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Path(n), nil
-	case "cycle":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Cycle(n), nil
-	case "complete":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Complete(n), nil
-	case "star":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Star(n), nil
-	case "hypercube":
-		k, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Hypercube(k), nil
-	case "bintree":
-		lv, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.CompleteBinaryTree(lv), nil
-	case "lollipop":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.Lollipop(n), nil
-	case "hair":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.CliqueWithHair(n), nil
-	case "pimple":
-		vs, err := ints(arg, ",")
-		if err != nil {
-			return nil, err
-		}
-		if len(vs) != 2 {
-			return nil, fmt.Errorf("bench: pimple wants N,H")
-		}
-		return graph.CliqueWithHairOnPimple(vs[0], vs[1]), nil
-	case "treepath":
-		vs, err := ints(arg, ",")
-		if err != nil {
-			return nil, err
-		}
-		if len(vs) != 2 {
-			return nil, fmt.Errorf("bench: treepath wants LEVELS,PATHLEN")
-		}
-		return graph.BinaryTreeWithPath(vs[0], vs[1]), nil
-	case "grid", "torus":
-		sides, err := ints(arg, "x")
-		if err != nil {
-			return nil, err
-		}
-		return graph.Grid(sides, kind == "torus"), nil
-	case "regular":
-		vs, err := ints(arg, ",")
-		if err != nil {
-			return nil, err
-		}
-		if len(vs) != 2 {
-			return nil, fmt.Errorf("bench: regular wants N,D")
-		}
-		return graph.RandomRegular(vs[0], vs[1], r)
-	case "gnp":
-		nStr, pStr, ok := strings.Cut(arg, ",")
-		if !ok {
-			return nil, fmt.Errorf("bench: gnp wants N,P")
-		}
-		n, err := atoi(nStr)
-		if err != nil {
-			return nil, err
-		}
-		p, err := strconv.ParseFloat(strings.TrimSpace(pStr), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bench: bad probability %q", pStr)
-		}
-		return graph.GNP(n, p, r)
-	case "tree":
-		n, err := atoi(arg)
-		if err != nil {
-			return nil, err
-		}
-		return graph.RandomTree(n, r), nil
-	}
-	return nil, fmt.Errorf("bench: unknown graph kind %q", kind)
+	return graphspec.Build(spec, seed)
 }
 
 // ParseProcess maps a CLI name to a Process.

@@ -31,11 +31,19 @@ type Block struct {
 // FromResult converts a recorded process run into a block. The run must
 // have been produced with Options.Record set.
 func FromResult(res *core.Result) (*Block, error) {
-	if res.Trajectories == nil {
+	return FromTrajectories(res.Trajectories)
+}
+
+// FromTrajectories builds a block from recorded per-particle trajectories
+// (one row per particle, rows deep-copied). It accepts the Trajectories
+// field of any result type that records them; nil means the run was not
+// recorded.
+func FromTrajectories(trajs [][]int32) (*Block, error) {
+	if trajs == nil {
 		return nil, fmt.Errorf("block: result has no recorded trajectories")
 	}
-	rows := make([][]int32, len(res.Trajectories))
-	for i, traj := range res.Trajectories {
+	rows := make([][]int32, len(trajs))
+	for i, traj := range trajs {
 		rows[i] = append([]int32(nil), traj...)
 	}
 	return &Block{Rows: rows}, nil

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -36,22 +37,67 @@ func (rn *Runner) SetWorkers(w int) {
 	rn.workers = w
 }
 
-// Run executes fn for trials independent trials and returns the results in
-// trial order. fn must be safe to call concurrently with distinct sources.
-func (rn *Runner) Run(trials int, fn func(trial int, r *rng.Source) float64) []float64 {
-	out := make([]float64, trials)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+// Workers returns the configured degree of parallelism.
+func (rn *Runner) Workers() int { return rn.workers }
+
+// streamed carries one trial outcome from a worker to the collector.
+type streamed[T any] struct {
+	trial int
+	v     T
+	err   error
+}
+
+// Stream runs fn for trials independent trials across the runner's worker
+// pool and delivers every result to each in strict trial order. The trial
+// randomness is the same split stream Run uses, so the sequence of values
+// delivered is identical for any worker count.
+//
+// Unlike Run, Stream does not materialize all results: workers may run at
+// most a small window ahead of the delivery cursor, so memory stays
+// bounded no matter how many trials are requested. fn must be safe to
+// call concurrently with distinct sources; each is always called from a
+// single goroutine.
+//
+// The first error — from ctx, fn, or each — stops the stream and is
+// returned; trials past the failure point may never run.
+func Stream[T any](ctx context.Context, rn *Runner, trials int,
+	fn func(trial int, r *rng.Source) (T, error),
+	each func(trial int, v T) error) error {
+	if trials <= 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	workers := rn.workers
 	if workers > trials {
 		workers = trials
 	}
+	// Tokens bound how far completed-but-undelivered trials can run ahead
+	// of the delivery cursor; the collector refunds one per delivery.
+	window := 4 * workers
+	if window > trials {
+		window = trials
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	results := make(chan streamed[T], window)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tokens:
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -59,11 +105,70 @@ func (rn *Runner) Run(trials int, fn func(trial int, r *rng.Source) float64) []f
 				if i >= trials {
 					return
 				}
-				out[i] = fn(i, rn.root.Split(rn.experimentID, uint64(i)))
+				v, err := fn(i, rn.root.Split(rn.experimentID, uint64(i)))
+				results <- streamed[T]{trial: i, v: v, err: err}
+				if err != nil {
+					cancel()
+					return
+				}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector. To keep the error path deterministic too, a trial
+	// failure does not discard earlier successes: trial indices are
+	// claimed in order, so every trial below the lowest failing index is
+	// already in flight and will arrive; each of them is still delivered
+	// before the failing trial's error is returned. A callback error
+	// stops delivery at that point instead.
+	var firstErr error
+	failIdx := trials // lowest trial index that failed (or delivery cut-off)
+	pending := make(map[int]T, window)
+	deliver := 0
+	for res := range results {
+		if res.err != nil {
+			if res.trial < failIdx {
+				failIdx = res.trial
+				firstErr = res.err
+			}
+			continue
+		}
+		pending[res.trial] = res.v
+		for deliver < failIdx {
+			v, ok := pending[deliver]
+			if !ok {
+				break
+			}
+			delete(pending, deliver)
+			if err := each(deliver, v); err != nil {
+				firstErr = err
+				failIdx = deliver
+				cancel()
+				break
+			}
+			deliver++
+			tokens <- struct{}{}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Run executes fn for trials independent trials and returns the results in
+// trial order. fn must be safe to call concurrently with distinct sources.
+func (rn *Runner) Run(trials int, fn func(trial int, r *rng.Source) float64) []float64 {
+	out := make([]float64, trials)
+	// fn and each cannot fail and the context is never cancelled, so
+	// Stream cannot return an error here.
+	_ = Stream(context.Background(), rn, trials,
+		func(i int, r *rng.Source) (float64, error) { return fn(i, r), nil },
+		func(i int, v float64) error { out[i] = v; return nil })
 	return out
 }
 
@@ -72,29 +177,11 @@ func (rn *Runner) Run(trials int, fn func(trial int, r *rng.Source) float64) []f
 func (rn *Runner) RunPairs(trials int, fn func(trial int, r *rng.Source) (float64, float64)) ([]float64, []float64) {
 	a := make([]float64, trials)
 	b := make([]float64, trials)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := rn.workers
-	if workers > trials {
-		workers = trials
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= trials {
-					return
-				}
-				a[i], b[i] = fn(i, rn.root.Split(rn.experimentID, uint64(i)))
-			}
-		}()
-	}
-	wg.Wait()
+	_ = Stream(context.Background(), rn, trials,
+		func(i int, r *rng.Source) ([2]float64, error) {
+			x, y := fn(i, r)
+			return [2]float64{x, y}, nil
+		},
+		func(i int, v [2]float64) error { a[i], b[i] = v[0], v[1]; return nil })
 	return a, b
 }

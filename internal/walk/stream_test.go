@@ -1,0 +1,165 @@
+package walk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"dispersion/internal/rng"
+)
+
+// TestStreamOrderAndDeterminism checks that Stream delivers results in
+// strict trial order with per-trial split streams, independent of the
+// worker count.
+func TestStreamOrderAndDeterminism(t *testing.T) {
+	const trials = 200
+	sample := func(workers int) []float64 {
+		rn := NewRunner(42, 7)
+		rn.SetWorkers(workers)
+		out := make([]float64, 0, trials)
+		err := Stream(context.Background(), rn, trials,
+			func(i int, r *rng.Source) (float64, error) {
+				return float64(i)*1e9 + float64(r.Intn(1000)), nil
+			},
+			func(i int, v float64) error {
+				if i != len(out) {
+					t.Fatalf("delivery out of order: got %d, want %d", i, len(out))
+				}
+				out = append(out, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := sample(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := sample(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("results differ between 1 worker and %d workers", w)
+		}
+	}
+}
+
+// TestStreamMatchesRun pins Stream's trial streams to Run's.
+func TestStreamMatchesRun(t *testing.T) {
+	const trials = 64
+	fn := func(i int, r *rng.Source) float64 { return r.Float64() }
+	want := NewRunner(3, 9).Run(trials, fn)
+	got := make([]float64, trials)
+	err := Stream(context.Background(), NewRunner(3, 9), trials,
+		func(i int, r *rng.Source) (float64, error) { return fn(i, r), nil },
+		func(i int, v float64) error { got[i] = v; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Stream and Run disagree on the same (seed, experiment)")
+	}
+}
+
+func TestStreamFnError(t *testing.T) {
+	sentinel := errors.New("trial exploded")
+	rn := NewRunner(1, 1)
+	rn.SetWorkers(4)
+	delivered := 0
+	err := Stream(context.Background(), rn, 1000,
+		func(i int, r *rng.Source) (int, error) {
+			if i == 10 {
+				return 0, sentinel
+			}
+			return i, nil
+		},
+		func(i int, v int) error { delivered++; return nil })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// The error path is deterministic too: every trial below the failing
+	// index is delivered, nothing at or past it.
+	if delivered != 10 {
+		t.Fatalf("delivered %d results, want exactly the 10 below the failing trial", delivered)
+	}
+}
+
+func TestStreamEachError(t *testing.T) {
+	sentinel := errors.New("consumer is full")
+	rn := NewRunner(1, 1)
+	rn.SetWorkers(4)
+	delivered := 0
+	err := Stream(context.Background(), rn, 1000,
+		func(i int, r *rng.Source) (int, error) { return i, nil },
+		func(i int, v int) error {
+			delivered++
+			if delivered == 7 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if delivered != 7 {
+		t.Fatalf("delivered %d results after consumer error, want 7", delivered)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rn := NewRunner(1, 1)
+	rn.SetWorkers(2)
+	delivered := 0
+	err := Stream(ctx, rn, 1<<30,
+		func(i int, r *rng.Source) (int, error) { return i, nil },
+		func(i int, v int) error {
+			delivered++
+			if delivered == 5 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered >= 1<<20 {
+		t.Fatal("cancellation did not stop the stream promptly")
+	}
+}
+
+func TestStreamZeroTrials(t *testing.T) {
+	if err := Stream(context.Background(), NewRunner(1, 1), 0,
+		func(i int, r *rng.Source) (int, error) { return 0, nil },
+		func(i int, v int) error { return fmt.Errorf("must not be called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamBoundedWindow checks that workers never run far ahead of the
+// delivery cursor, so unbounded trial counts use bounded memory.
+func TestStreamBoundedWindow(t *testing.T) {
+	rn := NewRunner(1, 1)
+	rn.SetWorkers(4)
+	var maxAhead, deliverCursor atomic.Int64
+	err := Stream(context.Background(), rn, 10000,
+		func(i int, r *rng.Source) (int, error) {
+			ahead := int64(i) - deliverCursor.Load()
+			for {
+				prev := maxAhead.Load()
+				if ahead <= prev || maxAhead.CompareAndSwap(prev, ahead) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i int, v int) error { deliverCursor.Store(int64(i) + 1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window is 4*workers = 16 tokens; allow generous slack for the
+	// approximate sampling above.
+	if maxAhead.Load() > 64 {
+		t.Fatalf("worker ran %d trials ahead of delivery; window is not bounded", maxAhead.Load())
+	}
+}

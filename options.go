@@ -1,0 +1,68 @@
+package dispersion
+
+import "dispersion/internal/core"
+
+// Option configures a single process run. Options compose left to right;
+// later options override earlier ones.
+type Option func(*config)
+
+// config collects the resolved settings of one run.
+type config struct {
+	core core.Options
+}
+
+// buildOptions folds a list of options into the internal options struct.
+func buildOptions(opts []Option) core.Options {
+	var c config
+	for _, apply := range opts {
+		apply(&c)
+	}
+	return c.core
+}
+
+// WithLazy makes every particle move as a lazy random walk (stay with
+// probability 1/2). Theorem 4.3: this doubles dispersion up to 1+o(1).
+func WithLazy() Option {
+	return func(c *config) { c.core.Lazy = true }
+}
+
+// WithRecord keeps each particle's full trajectory (the rows of the
+// paper's block representation). Memory is O(total steps).
+func WithRecord() Option {
+	return func(c *config) { c.core.Record = true }
+}
+
+// WithParticles disperses k particles instead of one per vertex (the
+// Section 6.2 variant with fewer particles than sites). k must be in
+// [1, n]; the surplus above n could never settle.
+func WithParticles(k int) Option {
+	return func(c *config) { c.core.Particles = k }
+}
+
+// WithRandomOrigins samples each particle's start vertex uniformly at
+// random instead of using the common origin (the Section 6.2 variant). A
+// particle starting on an unoccupied vertex settles there with zero steps.
+func WithRandomOrigins() Option {
+	return func(c *config) { c.core.RandomOrigins = true }
+}
+
+// WithSettleRule overrides the settlement rule in the Sequential process
+// (Proposition A.1). The default rule settles immediately on any vacant
+// vertex.
+func WithSettleRule(rule SettleRule) Option {
+	return func(c *config) { c.core.Rule = rule }
+}
+
+// WithMaxSteps aborts a run whose total step count exceeds n, marking the
+// Result as Truncated; zero means no bound. Guards against misconfigured
+// experiments.
+func WithMaxSteps(n int64) Option {
+	return func(c *config) { c.core.MaxSteps = n }
+}
+
+// WithRandomPriority resolves same-round settlement conflicts in the
+// Parallel process by a uniformly random priority permutation instead of
+// least-index (the σ(L) device in the proof of Theorem 4.2).
+func WithRandomPriority() Option {
+	return func(c *config) { c.core.RandomPriority = true }
+}

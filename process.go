@@ -1,0 +1,144 @@
+package dispersion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dispersion/internal/core"
+)
+
+// Process is one dispersion-process variant. Implementations are
+// registered under a canonical name (plus aliases) and looked up with
+// Lookup; the built-in registry covers the paper's five processes and
+// their lazy variants.
+type Process interface {
+	// Name is the canonical registry name, e.g. "sequential".
+	Name() string
+	// Continuous reports whether results carry a real-valued clock
+	// (Result.Time / Result.SettleTimes).
+	Continuous() bool
+	// Run executes one realization on g from origin, drawing randomness
+	// from r. It must be deterministic given (g, origin, r state, opts).
+	Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Process{}
+	canonical  []string
+)
+
+// Register adds a process to the registry under its canonical name and
+// any aliases. It panics on a duplicate name, mirroring database/sql.
+func Register(p Process, aliases ...string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for _, name := range append([]string{p.Name()}, aliases...) {
+		if _, dup := registry[name]; dup {
+			panic("dispersion: duplicate process name " + name)
+		}
+		registry[name] = p
+	}
+	canonical = append(canonical, p.Name())
+	sort.Strings(canonical)
+}
+
+// Lookup returns the process registered under name (canonical or alias).
+func Lookup(name string) (Process, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("dispersion: unknown process %q (want one of %s)",
+		name, strings.Join(canonical, "|"))
+}
+
+// Processes returns the canonical names of all registered processes in
+// sorted order.
+func Processes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]string(nil), canonical...)
+}
+
+// coreProcess adapts one internal process function to the Process
+// interface. forced options (e.g. laziness for the lazy variants) are
+// applied before the caller's options.
+type coreProcess struct {
+	name       string
+	continuous bool
+	forced     []Option
+	run        func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error)
+}
+
+func (p *coreProcess) Name() string     { return p.name }
+func (p *coreProcess) Continuous() bool { return p.continuous }
+
+func (p *coreProcess) Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error) {
+	opt := buildOptions(append(append([]Option(nil), p.forced...), opts...))
+	res, err := p.run(g, origin, opt, r)
+	if err != nil {
+		return nil, err
+	}
+	res.Process = p.name
+	return res, nil
+}
+
+// discrete adapts a discrete-time internal process.
+func discrete(f func(*Graph, int, core.Options, *Source) (*core.Result, error)) func(*Graph, int, core.Options, *Source) (*Result, error) {
+	return func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error) {
+		res, err := f(g, origin, opt, r)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(res), nil
+	}
+}
+
+// continuousTime adapts a continuous-time internal process.
+func continuousTime(f func(*Graph, int, core.Options, *Source) (*core.CTResult, error)) func(*Graph, int, core.Options, *Source) (*Result, error) {
+	return func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error) {
+		res, err := f(g, origin, opt, r)
+		if err != nil {
+			return nil, err
+		}
+		return newCTResult(res), nil
+	}
+}
+
+func init() {
+	variants := []struct {
+		name       string
+		aliases    []string
+		continuous bool
+		run        func(*Graph, int, core.Options, *Source) (*Result, error)
+	}{
+		{"sequential", []string{"seq"}, false, discrete(core.Sequential)},
+		{"parallel", []string{"par"}, false, discrete(core.Parallel)},
+		{"uniform", []string{"unif"}, false, discrete(core.Uniform)},
+		{"ct-uniform", []string{"ctu"}, true, continuousTime(core.CTUniform)},
+		{"ct-sequential", []string{"ctseq"}, true, continuousTime(core.CTSequential)},
+	}
+	for _, v := range variants {
+		Register(&coreProcess{
+			name:       v.name,
+			continuous: v.continuous,
+			run:        v.run,
+		}, v.aliases...)
+		// The lazy variants of Theorem 4.3: the same process with the
+		// laziness option forced on.
+		lazyAliases := make([]string, len(v.aliases))
+		for i, a := range v.aliases {
+			lazyAliases[i] = "lazy-" + a
+		}
+		Register(&coreProcess{
+			name:       "lazy-" + v.name,
+			continuous: v.continuous,
+			forced:     []Option{WithLazy()},
+			run:        v.run,
+		}, lazyAliases...)
+	}
+}
