@@ -1,0 +1,83 @@
+// Command dispersion-server runs the dispersion simulation service: a
+// long-running HTTP server that accepts Job submissions and streams
+// per-trial results back as NDJSON while jobs execute on a bounded
+// worker pool over the deterministic dispersion.Engine.
+//
+// Usage:
+//
+//	dispersion-server -addr :8080
+//	dispersion-server -addr :8080 -max-jobs 4 -engine-workers 2
+//	dispersion-server -results-dir /var/lib/dispersion
+//
+// The API (see package dispersion/server and README.md for the full
+// reference):
+//
+//	POST   /v1/jobs              submit a job
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status and progress
+//	GET    /v1/jobs/{id}/results NDJSON result stream (?from=K resumes)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/processes         registered processes and graph kinds
+//	GET    /healthz              liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are
+// cancelled and open streams are closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dispersion/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxJobs       = flag.Int("max-jobs", 2, "jobs running concurrently; further submissions queue")
+		engineWorkers = flag.Int("engine-workers", 0, "per-job engine workers (0 = one per core; never affects results)")
+		resultsDir    = flag.String("results-dir", "", "archive every job's trials as <dir>/<job>.jsonl (empty = off)")
+	)
+	flag.Parse()
+
+	if *resultsDir != "" {
+		if err := os.MkdirAll(*resultsDir, 0o755); err != nil {
+			log.Fatalf("dispersion-server: %v", err)
+		}
+	}
+	m := server.NewManager(server.ManagerOptions{
+		MaxConcurrent: *maxJobs,
+		EngineWorkers: *engineWorkers,
+		ResultsDir:    *resultsDir,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.New(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("dispersion-server: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
+	}()
+
+	fmt.Printf("dispersion-server: listening on %s (max %d concurrent jobs)\n", *addr, *maxJobs)
+	err := srv.ListenAndServe()
+	// Cancel jobs after the listener stops accepting work, then wait for
+	// the workers so JSONL archives are complete on exit.
+	m.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dispersion-server: %v", err)
+	}
+}

@@ -1,11 +1,13 @@
 // Command dispersion runs a dispersion process on a chosen graph family
-// and reports dispersion-time statistics.
+// and reports dispersion-time statistics. The per-trial results can also
+// be persisted through the dispersion/sink writers.
 //
 // Usage:
 //
 //	dispersion -graph complete:256 -process par -trials 200 -seed 1
 //	dispersion -graph torus:16x16 -process seq -origin 0 -lazy
 //	dispersion -graph regular:512,4 -process ctu -trials 100
+//	dispersion -graph complete:256 -trials 1000 -csv trials.csv -jsonl trials.jsonl
 //
 // Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
 // lollipop:N hair:N pimple:N,H treepath:LEVELS,PATHLEN grid:AxB torus:AxB
@@ -22,6 +24,7 @@ import (
 	"dispersion"
 	"dispersion/graphspec"
 	"dispersion/internal/stats"
+	"dispersion/sink"
 )
 
 func main() {
@@ -32,6 +35,8 @@ func main() {
 		trials    = flag.Int("trials", 100, "number of independent trials")
 		seed      = flag.Uint64("seed", 1, "random seed (reproducible)")
 		lazy      = flag.Bool("lazy", false, "use lazy random walks")
+		csvPath   = flag.String("csv", "", "write per-trial scalar rows as CSV to this file")
+		jsonlPath = flag.String("jsonl", "", "write full per-trial results as JSONL to this file")
 		quiet     = flag.Bool("q", false, "print only the mean dispersion time")
 	)
 	flag.Parse()
@@ -48,17 +53,61 @@ func main() {
 	if *lazy {
 		opts = append(opts, dispersion.WithLazy())
 	}
+
+	// The run streams every trial through one callback: makespan
+	// collection for the statistics below, teed with the requested sinks.
+	var (
+		writers []sink.Writer
+		flush   []func() error
+	)
+	for _, sel := range []struct {
+		path string
+		open func(f *os.File)
+	}{
+		{*csvPath, func(f *os.File) {
+			cw := sink.NewCSV(f)
+			writers = append(writers, cw)
+			flush = append(flush, cw.Flush)
+		}},
+		{*jsonlPath, func(f *os.File) {
+			writers = append(writers, sink.NewJSONL(f))
+		}},
+	} {
+		if sel.path == "" {
+			continue
+		}
+		f, err := os.Create(sel.path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sel.open(f)
+	}
+	each := sink.Tee(writers...)
+
+	xs := make([]float64, 0, *trials)
 	eng := dispersion.Engine{Seed: *seed, Experiment: 0xd15b}
-	xs, err := eng.Sample(context.Background(), dispersion.Job{
+	err = eng.Run(context.Background(), dispersion.Job{
 		Process: p.Name(),
 		Graph:   g,
 		Origin:  *origin,
 		Trials:  *trials,
 		Options: opts,
+	}, func(t dispersion.Trial) error {
+		xs = append(xs, t.Result.Makespan())
+		return each(t)
 	})
+	// Flush buffered sink rows even when the run failed, so completed
+	// trials are not lost; the run error still wins the exit status.
+	for _, fl := range flush {
+		if ferr := fl(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+
 	s := stats.Summarize(xs)
 	if *quiet {
 		fmt.Printf("%.6g\n", s.Mean)

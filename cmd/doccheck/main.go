@@ -1,0 +1,180 @@
+// Command doccheck enforces the repository's documentation bar: every
+// public (non-internal) package must carry a package comment, and every
+// exported top-level symbol of every public library package — types,
+// functions, methods on exported types, consts and vars — must have a
+// godoc comment. CI runs it after go vet; it exits non-zero listing every
+// gap.
+//
+// Usage:
+//
+//	doccheck [dir]    # dir defaults to "."
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// check walks every public package under root and returns one line per
+// missing doc comment, sorted by position.
+func check(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name != "." && (strings.HasPrefix(name, ".") || name == "internal" || name == "testdata") {
+			if path != root {
+				return filepath.SkipDir
+			}
+		}
+		ps, err := checkDir(path)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, ps...)
+		return nil
+	})
+	sort.Strings(problems)
+	return problems, err
+}
+
+// checkDir inspects the single package (if any) in one directory.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		if pkg.Name == "main" {
+			// Commands only need the package comment; their symbols are
+			// not importable.
+			continue
+		}
+		for file, f := range pkg.Files {
+			problems = append(problems, checkFile(fset, file, f)...)
+		}
+	}
+	return problems, nil
+}
+
+// checkFile reports every exported top-level symbol of one file that
+// lacks a doc comment.
+func checkFile(fset *token.FileSet, file string, f *ast.File) []string {
+	var problems []string
+	missing := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s %s is exported but undocumented", file, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				missing(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			// A doc comment on the group (const/var/type block) covers
+			// every member; otherwise each exported spec needs its own.
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						missing(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							missing(s.Pos(), kindOf(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (true for plain functions).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// kindOf names a value declaration for the report.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a Go file into the synthetic tree.
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The checker flags undocumented exported symbols and missing package
+// comments, honours group docs, skips internal packages, test files, and
+// the exported symbols of main packages.
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `package p
+
+type Undoc struct{}
+
+func (Undoc) M() {}
+
+func (unexported) N() {}
+
+// Documented needs no flag.
+func Documented() {}
+
+// Grouped docs cover every member.
+const (
+	A = 1
+	B = 2
+)
+
+var V = 3
+
+type unexported int
+`)
+	write(t, dir, "a_test.go", `package p
+
+func ExportedTestHelper() {}
+`)
+	write(t, dir, "internal/h/h.go", `package h
+
+func Hidden() {}
+`)
+	write(t, dir, "cmd/x/main.go", `// Command x is documented.
+package main
+
+func ExportedInMain() {}
+
+func main() {}
+`)
+	got, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"package p has no package comment",
+		"type Undoc is exported but undocumented",
+		"method M is exported but undocumented",
+		"var V is exported but undocumented",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d problems, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing problem %q in:\n%s", w, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// The repository itself must stay at the documentation bar the CI step
+// enforces.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Skipf("module root: %v", err)
+	}
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Errorf("undocumented exported symbols:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -56,6 +56,32 @@ type Trial struct {
 	Result *Result
 }
 
+// Validate checks that the job is well-formed without running it: the
+// process must be registered, the job must carry a Graph or a
+// syntactically valid Spec, and Trials must be positive. Long-running
+// callers (the dispersion HTTP server) use it to reject bad submissions
+// before queueing; Engine.Run performs the same checks itself.
+//
+// Validate does not build the graph, so Spec argument errors (e.g. a
+// malformed size) still surface at run time.
+func (job Job) Validate() error {
+	if _, err := Lookup(job.Process); err != nil {
+		return err
+	}
+	if job.Graph == nil {
+		if job.Spec == "" {
+			return fmt.Errorf("dispersion: job needs a Graph or a Spec")
+		}
+		if _, err := graphspec.Parse(job.Spec); err != nil {
+			return err
+		}
+	}
+	if job.Trials <= 0 {
+		return fmt.Errorf("dispersion: job wants %d trials (need at least 1)", job.Trials)
+	}
+	return nil
+}
+
 // Run executes job.Trials independent realizations and streams each
 // result to the callback in strict trial order, without buffering more
 // than a small scheduling window — arbitrarily long runs use bounded
@@ -65,22 +91,19 @@ type Trial struct {
 // Run stops at the first error — from the context, a trial, or the
 // callback — and returns it.
 func (e Engine) Run(ctx context.Context, job Job, each func(Trial) error) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
 	p, err := Lookup(job.Process)
 	if err != nil {
 		return err
 	}
 	g := job.Graph
 	if g == nil {
-		if job.Spec == "" {
-			return fmt.Errorf("dispersion: job needs a Graph or a Spec")
-		}
 		g, err = graphspec.Build(job.Spec, e.Seed)
 		if err != nil {
 			return err
 		}
-	}
-	if job.Trials <= 0 {
-		return fmt.Errorf("dispersion: job wants %d trials (need at least 1)", job.Trials)
 	}
 	rn := walk.NewRunner(e.Seed, e.Experiment)
 	if e.Workers > 0 {

@@ -1,0 +1,34 @@
+// Package server turns the deterministic dispersion.Engine into a
+// long-running simulation service: clients submit Jobs over HTTP and
+// stream per-trial Results back as NDJSON while the job is still running.
+//
+// The package has two layers:
+//
+//   - Manager — the transport-independent job manager. It validates and
+//     queues submissions, runs each job on its own context under a
+//     bounded worker pool, buffers results in trial order for resumable
+//     streaming, and optionally persists every job's trials as JSONL
+//     through dispersion/sink.
+//
+//   - Server — the HTTP layer (an http.Handler) exposing the v1 API:
+//
+//     POST   /v1/jobs              submit a job (JSON body), returns its status
+//     GET    /v1/jobs              list all job statuses
+//     GET    /v1/jobs/{id}         poll one job's status and progress
+//     GET    /v1/jobs/{id}/results stream results as NDJSON; ?from=K resumes at trial K
+//     DELETE /v1/jobs/{id}         cancel a job
+//     GET    /v1/processes         registered processes and graph-spec kinds
+//     GET    /healthz              liveness probe
+//
+// Every NDJSON line is a sink.Record: {"trial": i, "result": {...}}.
+// Results are bit-for-bit identical to a direct Engine.Run with the same
+// (seed, experiment, trials) — the engine derives trial i's randomness
+// from the split stream (seed, experiment, i), independent of worker
+// counts — so a stream interrupted at trial k and resumed with ?from=k
+// continues without gaps, duplicates, or divergence.
+//
+// Completed results are kept in memory for the lifetime of the job (they
+// are what makes ?from= resumption and late consumers possible), so a
+// job's memory footprint is proportional to Trials times the per-Result
+// size; use the JSONL persistence directory for archival beyond that.
+package server

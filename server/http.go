@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dispersion"
+	"dispersion/graphspec"
+	"dispersion/sink"
+)
+
+// Server is the HTTP layer over a Manager: an http.Handler serving the
+// /v1 job API documented in the package comment and README.md.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// New returns a Server over the given manager. The caller keeps ownership
+// of the manager (and is responsible for closing it).
+func New(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/processes", s.processes)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the v1 routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON body of every non-2xx response.
+type apiError struct {
+	// Error is the human-readable failure message.
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fail renders an error response.
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// job resolves the {id} path element, rendering a 404 on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.m.Get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j, ok
+}
+
+// submit handles POST /v1/jobs: decode, validate, queue, and echo the new
+// job's status with a Location header.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	j, err := s.m.Submit(req)
+	if errors.Is(err, ErrClosed) {
+		fail(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusCreated, j.Status())
+}
+
+// list handles GET /v1/jobs.
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+// status handles GET /v1/jobs/{id}.
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// cancel handles DELETE /v1/jobs/{id}. Cancellation is idempotent: the
+// response is the job's status after the cancel took effect, with state
+// "cancelled" unless the job had already finished.
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	// The run goroutine records the terminal state asynchronously; wait
+	// for it so the response reflects the cancellation.
+	writeJSON(w, http.StatusOK, j.Wait(r.Context()))
+}
+
+// results handles GET /v1/jobs/{id}/results: an NDJSON stream of
+// sink.Record lines in trial order, starting at ?from= (default 0) and
+// following the job live until it reaches a terminal state. Reconnecting
+// with from = <number of lines already seen> resumes exactly, because
+// trial i's result is a pure function of the job request.
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			fail(w, http.StatusBadRequest, "bad from=%q (want a non-negative trial index)", q)
+			return
+		}
+		from = v
+	}
+	if trials := j.Status().Request.Trials; from > trials {
+		fail(w, http.StatusBadRequest, "from=%d beyond the job's %d trials", from, trials)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	out := sink.NewJSONL(w)
+	for i := from; ; i++ {
+		res, ok := j.Next(r.Context(), i)
+		if !ok {
+			return
+		}
+		if err := out.Write(dispersion.Trial{Index: i, Result: res}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// processesResponse is the body of GET /v1/processes.
+type processesResponse struct {
+	// Processes lists the canonical names of every registered dispersion
+	// process.
+	Processes []string `json:"processes"`
+	// GraphKinds lists the graph-family names a job Spec may use.
+	GraphKinds []string `json:"graph_kinds"`
+}
+
+// processes handles GET /v1/processes.
+func (s *Server) processes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, processesResponse{
+		Processes:  dispersion.Processes(),
+		GraphKinds: graphspec.Kinds(),
+	})
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dispersion"
+	"dispersion/sink"
+)
+
+// JobRequest is a job submission: the JSON body of POST /v1/jobs. It is
+// the serializable mirror of dispersion.Job plus the engine coordinates
+// (seed, experiment) that pin the job's randomness.
+type JobRequest struct {
+	// Process is the registry name of the process to run, e.g. "parallel"
+	// (see GET /v1/processes for the full list).
+	Process string `json:"process"`
+	// Spec is the textual graph-family spec, e.g. "torus:32x32".
+	Spec string `json:"spec"`
+	// Origin is the common start vertex (ignored under random origins).
+	Origin int `json:"origin"`
+	// Trials is the number of independent realizations to run.
+	Trials int `json:"trials"`
+	// Seed roots all randomness of the job, including random graph
+	// families built from Spec. Equal requests reproduce results exactly.
+	Seed uint64 `json:"seed"`
+	// Experiment namespaces the trial streams (dispersion.Engine.Experiment).
+	Experiment uint64 `json:"experiment"`
+	// Options configure every trial identically.
+	Options Options `json:"options"`
+}
+
+// Options is the JSON form of the dispersion functional options a job may
+// set. The zero value configures nothing.
+type Options struct {
+	// Lazy makes every particle move as a lazy random walk (WithLazy).
+	Lazy bool `json:"lazy,omitempty"`
+	// Record keeps full trajectories in every Result (WithRecord). The
+	// results stream then carries them; expect large lines.
+	Record bool `json:"record,omitempty"`
+	// Particles disperses k particles instead of one per vertex
+	// (WithParticles); 0 leaves the default.
+	Particles int `json:"particles,omitempty"`
+	// RandomOrigins samples each particle's start vertex uniformly
+	// (WithRandomOrigins).
+	RandomOrigins bool `json:"random_origins,omitempty"`
+	// MaxSteps truncates runs whose total step count exceeds it
+	// (WithMaxSteps); 0 means unbounded.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// RandomPriority resolves Parallel-process settlement conflicts by a
+	// random priority permutation (WithRandomPriority).
+	RandomPriority bool `json:"random_priority,omitempty"`
+}
+
+// build renders the JSON options as functional options.
+func (o Options) build() []dispersion.Option {
+	var opts []dispersion.Option
+	if o.Lazy {
+		opts = append(opts, dispersion.WithLazy())
+	}
+	if o.Record {
+		opts = append(opts, dispersion.WithRecord())
+	}
+	if o.Particles > 0 {
+		opts = append(opts, dispersion.WithParticles(o.Particles))
+	}
+	if o.RandomOrigins {
+		opts = append(opts, dispersion.WithRandomOrigins())
+	}
+	if o.MaxSteps > 0 {
+		opts = append(opts, dispersion.WithMaxSteps(o.MaxSteps))
+	}
+	if o.RandomPriority {
+		opts = append(opts, dispersion.WithRandomPriority())
+	}
+	return opts
+}
+
+// job renders the request as the engine's job description.
+func (r JobRequest) job() dispersion.Job {
+	return dispersion.Job{
+		Process: r.Process,
+		Spec:    r.Spec,
+		Origin:  r.Origin,
+		Trials:  r.Trials,
+		Options: r.Options.build(),
+	}
+}
+
+// State is a job's position in its lifecycle.
+type State string
+
+// The job lifecycle: Queued -> Running -> one of the three terminal
+// states Done, Failed, or Cancelled. A queued job may move straight to
+// Cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final, i.e. the job will produce
+// no further results.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Status is a point-in-time snapshot of one job: the body of
+// GET /v1/jobs/{id} and the elements of GET /v1/jobs.
+type Status struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is the lifecycle state at snapshot time.
+	State State `json:"state"`
+	// Request echoes the accepted submission.
+	Request JobRequest `json:"request"`
+	// Completed is the number of trials finished so far; results with
+	// index < Completed are available from the results endpoint.
+	Completed int `json:"completed"`
+	// Error is the failure message for StateFailed jobs.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt, StartedAt and FinishedAt track the lifecycle; the
+	// latter two are zero until the transition happens.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Job is one managed submission. All methods are safe for concurrent use;
+// reads take point-in-time snapshots.
+type Job struct {
+	id     string
+	req    JobRequest
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	notify    chan struct{} // closed and replaced on every append / state change
+	results   []*dispersion.Result
+	state     State
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the server-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.id,
+		State:       j.state,
+		Request:     j.req,
+		Completed:   len(j.results),
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}
+
+// Cancel asks the job to stop. It is idempotent; cancelling a terminal
+// job has no effect.
+func (j *Job) Cancel() { j.cancel() }
+
+// broadcast wakes every waiter. Callers must hold j.mu.
+func (j *Job) broadcast() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// append records one completed trial, in order.
+func (j *Job) append(res *dispersion.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, res)
+	j.broadcast()
+}
+
+// setState moves the job to a new lifecycle state, stamping the
+// transition time. Terminal states never change again.
+func (j *Job) setState(s State, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.errMsg = errMsg
+	switch {
+	case s == StateRunning:
+		j.started = time.Now()
+	case s.Terminal():
+		j.finished = time.Now()
+	}
+	j.broadcast()
+}
+
+// Next blocks until trial i's result is available and returns it, or
+// returns false once the job is terminal with fewer than i+1 results (or
+// ctx is done). Results arrive in index order, so callers stream by
+// calling Next with i = from, from+1, from+2, ...
+func (j *Job) Next(ctx context.Context, i int) (*dispersion.Result, bool) {
+	for {
+		j.mu.Lock()
+		if i < len(j.results) {
+			res := j.results[i]
+			j.mu.Unlock()
+			return res, true
+		}
+		terminal := j.state.Terminal()
+		wait := j.notify
+		j.mu.Unlock()
+		if terminal {
+			return nil, false
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done)
+// and returns the latest status snapshot.
+func (j *Job) Wait(ctx context.Context) Status {
+	for {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		wait := j.notify
+		j.mu.Unlock()
+		if terminal {
+			return j.Status()
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return j.Status()
+		}
+	}
+}
+
+// ManagerOptions configure a Manager.
+type ManagerOptions struct {
+	// MaxConcurrent caps how many jobs run simultaneously; further
+	// submissions queue. 0 means 2.
+	MaxConcurrent int
+	// EngineWorkers is passed to dispersion.Engine.Workers for every job:
+	// the per-job degree of parallelism. 0 means one worker per core.
+	// The setting affects scheduling only, never results.
+	EngineWorkers int
+	// ResultsDir, when non-empty, makes the manager persist every job's
+	// trials to <ResultsDir>/<job id>.jsonl through a dispersion/sink
+	// JSONL writer as they complete.
+	ResultsDir string
+}
+
+// ErrClosed is returned by Submit once Close has begun; the HTTP layer
+// maps it to 503.
+var ErrClosed = errors.New("server: manager is shutting down")
+
+// Manager owns the job table and the worker pool. Create one with
+// NewManager and shut it down with Close.
+type Manager struct {
+	opts    ManagerOptions
+	runID   string
+	baseCtx context.Context
+	stop    context.CancelFunc
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string
+}
+
+// NewManager returns a running manager with the given options.
+func NewManager(opts ManagerOptions) *Manager {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2
+	}
+	// Job IDs embed a per-manager random run component so a restarted
+	// server never reuses an ID — and never truncates a previous run's
+	// JSONL archive in the same ResultsDir.
+	var buf [3]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic("server: no entropy for run id: " + err.Error())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		opts:    opts,
+		runID:   hex.EncodeToString(buf[:]),
+		baseCtx: ctx,
+		stop:    cancel,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		jobs:    map[string]*Job{},
+	}
+}
+
+// Submit validates the request and, if it is well-formed, queues it for
+// execution, returning the new job. Validation failures are reported
+// synchronously and leave no job behind; after Close has begun it
+// reports ErrClosed.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	if err := req.job().Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		req:       req,
+		cancel:    cancel,
+		notify:    make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("j%s-%06d", m.runID, m.nextID)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	// Registering with the WaitGroup under the same lock that Close uses
+	// to set closed keeps Add happens-before Wait.
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.run(ctx, j)
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Close rejects further submissions, cancels every job, and waits for
+// all workers to exit (so configured JSONL archives are complete when it
+// returns).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+}
+
+// run executes one job: wait for a worker slot, stream trials into the
+// job buffer (and the JSONL archive, if configured), and record the
+// terminal state.
+func (m *Manager) run(ctx context.Context, j *Job) {
+	defer m.wg.Done()
+	defer j.cancel()
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		j.setState(StateCancelled, "")
+		return
+	}
+	if ctx.Err() != nil {
+		j.setState(StateCancelled, "")
+		return
+	}
+	j.setState(StateRunning, "")
+
+	each := j.appendEach()
+	var archive *os.File
+	if m.opts.ResultsDir != "" {
+		f, err := os.Create(filepath.Join(m.opts.ResultsDir, j.id+".jsonl"))
+		if err != nil {
+			j.setState(StateFailed, err.Error())
+			return
+		}
+		archive = f
+		defer archive.Close()
+		each = sink.Tee(sinkFunc(each), sink.NewJSONL(f))
+	}
+
+	eng := dispersion.Engine{
+		Seed:       j.req.Seed,
+		Experiment: j.req.Experiment,
+		Workers:    m.opts.EngineWorkers,
+	}
+	err := eng.Run(ctx, j.req.job(), each)
+	switch {
+	case err == nil:
+		j.setState(StateDone, "")
+	case errors.Is(err, context.Canceled):
+		j.setState(StateCancelled, "")
+	default:
+		j.setState(StateFailed, err.Error())
+	}
+}
+
+// appendEach returns the Engine.Run callback that feeds the job buffer.
+func (j *Job) appendEach() func(dispersion.Trial) error {
+	return func(t dispersion.Trial) error {
+		j.append(t.Result)
+		return nil
+	}
+}
+
+// sinkFunc adapts a plain callback to the sink.Writer interface so it can
+// be teed with real sinks.
+type sinkFunc func(dispersion.Trial) error
+
+// Write invokes the wrapped callback.
+func (f sinkFunc) Write(t dispersion.Trial) error { return f(t) }

@@ -1,0 +1,27 @@
+// Package sink persists per-trial dispersion results as they stream out
+// of an Engine.Run callback, so experiments at scale do not re-implement
+// collection.
+//
+// Two formats are provided, both written one record per trial in strict
+// trial order:
+//
+//   - JSONL ("NDJSON"): one Record — the trial index plus the full
+//     dispersion.Result — as a JSON object per line. This is the lossless
+//     format; it is also the wire schema the dispersion HTTP server
+//     streams from GET /v1/jobs/{id}/results.
+//   - CSV: one Row of scalar per-trial summaries (makespan, dispersion,
+//     total steps, ...) per line, for spreadsheets and plotting. Slices
+//     (per-particle steps, trajectories) are not representable in CSV and
+//     are dropped.
+//
+// Writers implement the one-method Writer interface; Tee fans a single
+// Engine.Run callback out to any number of them:
+//
+//	cw := sink.NewCSV(f)
+//	err := eng.Run(ctx, job, sink.Tee(cw))
+//	// ...
+//	cw.Flush()
+//
+// ReadJSONL and ReadCSV read files back for verification and resumption;
+// a JSONL round trip reproduces the in-memory results exactly.
+package sink

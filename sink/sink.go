@@ -1,0 +1,238 @@
+package sink
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dispersion"
+)
+
+// Writer consumes one trial at a time, in the strict trial order
+// Engine.Run delivers them.
+type Writer interface {
+	// Write records one trial. Implementations may retain t.Result: the
+	// engine hands over ownership and never reuses or mutates a
+	// delivered Result.
+	Write(t dispersion.Trial) error
+}
+
+// Tee adapts any number of writers into a single Engine.Run callback: each
+// trial is written to every writer in argument order, stopping at (and
+// returning) the first error, which also aborts the run.
+func Tee(ws ...Writer) func(dispersion.Trial) error {
+	return func(t dispersion.Trial) error {
+		for _, w := range ws {
+			if err := w.Write(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Record is the wire form of one trial in the JSONL format — and, line by
+// line, the NDJSON schema of the dispersion server's results stream.
+type Record struct {
+	// Trial is the trial index in [0, Trials).
+	Trial int `json:"trial"`
+	// Result is the trial's full outcome.
+	Result *dispersion.Result `json:"result"`
+}
+
+// JSONL writes one Record per line. It is the lossless sink: ReadJSONL
+// reproduces the written trials exactly.
+type JSONL struct {
+	enc *json.Encoder
+}
+
+// NewJSONL returns a JSONL sink writing to w. Every Write emits one
+// complete line; no flushing is needed beyond what w itself buffers.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write appends one trial as a JSON line.
+func (s *JSONL) Write(t dispersion.Trial) error {
+	return s.enc.Encode(Record{Trial: t.Index, Result: t.Result})
+}
+
+// ReadJSONL reads back a JSONL stream written by a JSONL sink (or by the
+// dispersion server's results endpoint), returning the trials in file
+// order.
+func ReadJSONL(r io.Reader) ([]dispersion.Trial, error) {
+	var out []dispersion.Trial
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("sink: bad JSONL record %d: %w", len(out), err)
+		}
+		out = append(out, dispersion.Trial{Index: rec.Trial, Result: rec.Result})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// csvColumns is the fixed CSV header; Row fields mirror it in order.
+var csvColumns = []string{
+	"trial", "process", "continuous", "makespan",
+	"dispersion", "total_steps", "time", "truncated", "unsettled",
+}
+
+// Row is the scalar per-trial summary the CSV sink writes: everything a
+// statistics pass over many trials needs, with the slice-valued Result
+// fields dropped.
+type Row struct {
+	// Trial is the trial index in [0, Trials).
+	Trial int
+	// Process is the canonical process name from the Result.
+	Process string
+	// Continuous mirrors Result.Continuous.
+	Continuous bool
+	// Makespan is Result.Makespan(): the dispersion time on the process's
+	// natural scale.
+	Makespan float64
+	// Dispersion mirrors Result.Dispersion.
+	Dispersion int64
+	// TotalSteps mirrors Result.TotalSteps.
+	TotalSteps int64
+	// Time mirrors Result.Time (zero for discrete processes).
+	Time float64
+	// Truncated mirrors Result.Truncated.
+	Truncated bool
+	// Unsettled is Result.Unsettled(): particles left unsettled, nonzero
+	// only for truncated runs.
+	Unsettled int
+}
+
+// CSV writes one Row per trial under a fixed header. Call Flush after the
+// run to force buffered rows out and observe any deferred write error.
+type CSV struct {
+	w          *csv.Writer
+	headerDone bool
+}
+
+// NewCSV returns a CSV sink writing to w. The header row is emitted by
+// the first Write, so an aborted zero-trial run leaves w untouched.
+func NewCSV(w io.Writer) *CSV {
+	return &CSV{w: csv.NewWriter(w)}
+}
+
+// Write appends one trial's scalar summary row.
+func (s *CSV) Write(t dispersion.Trial) error {
+	if !s.headerDone {
+		if err := s.w.Write(csvColumns); err != nil {
+			return err
+		}
+		s.headerDone = true
+	}
+	res := t.Result
+	return s.w.Write([]string{
+		strconv.Itoa(t.Index),
+		res.Process,
+		strconv.FormatBool(res.Continuous),
+		formatFloat(res.Makespan()),
+		strconv.FormatInt(res.Dispersion, 10),
+		strconv.FormatInt(res.TotalSteps, 10),
+		formatFloat(res.Time),
+		strconv.FormatBool(res.Truncated),
+		strconv.Itoa(res.Unsettled()),
+	})
+}
+
+// Flush writes any buffered rows and returns the first error encountered
+// by any Write or by the flush itself.
+func (s *CSV) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// formatFloat renders a float with the shortest representation that
+// round-trips exactly, so ReadCSV recovers the written value bit for bit.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ReadCSV reads back a file written by a CSV sink, returning the rows in
+// file order. It validates the header.
+func ReadCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	if got, want := records[0], csvColumns; !equalStrings(got, want) {
+		return nil, fmt.Errorf("sink: unexpected CSV header %q", got)
+	}
+	out := make([]Row, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		row, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("sink: bad CSV row %d: %w", i, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseRow(rec []string) (Row, error) {
+	if len(rec) != len(csvColumns) {
+		return Row{}, fmt.Errorf("want %d fields, got %d", len(csvColumns), len(rec))
+	}
+	var (
+		row Row
+		err error
+	)
+	if row.Trial, err = strconv.Atoi(rec[0]); err != nil {
+		return Row{}, err
+	}
+	row.Process = rec[1]
+	if row.Continuous, err = strconv.ParseBool(rec[2]); err != nil {
+		return Row{}, err
+	}
+	if row.Makespan, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return Row{}, err
+	}
+	if row.Dispersion, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
+		return Row{}, err
+	}
+	if row.TotalSteps, err = strconv.ParseInt(rec[5], 10, 64); err != nil {
+		return Row{}, err
+	}
+	if row.Time, err = strconv.ParseFloat(rec[6], 64); err != nil {
+		return Row{}, err
+	}
+	if row.Truncated, err = strconv.ParseBool(rec[7]); err != nil {
+		return Row{}, err
+	}
+	if row.Unsettled, err = strconv.Atoi(rec[8]); err != nil {
+		return Row{}, err
+	}
+	return row, nil
+}

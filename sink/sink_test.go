@@ -1,0 +1,114 @@
+package sink_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"dispersion"
+	"dispersion/sink"
+)
+
+// run collects a job's trials in memory while teeing them through the
+// given writers, via the same callback path production code uses.
+func run(t *testing.T, job dispersion.Job, ws ...sink.Writer) []dispersion.Trial {
+	t.Helper()
+	var got []dispersion.Trial
+	eng := dispersion.Engine{Seed: 11, Experiment: 5}
+	each := sink.Tee(ws...)
+	err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+		got = append(got, tr)
+		return each(tr)
+	})
+	if err != nil {
+		t.Fatalf("Engine.Run: %v", err)
+	}
+	return got
+}
+
+// A JSONL round trip must reproduce the in-memory results exactly, for
+// discrete and continuous-time processes alike.
+func TestJSONLRoundTrip(t *testing.T) {
+	for _, process := range []string{"sequential", "ct-uniform"} {
+		var buf bytes.Buffer
+		job := dispersion.Job{Process: process, Spec: "cycle:24", Trials: 8}
+		want := run(t, job, sink.NewJSONL(&buf))
+		got, err := sink.ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadJSONL: %v", process, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: JSONL round trip diverged\n got %+v\nwant %+v", process, got, want)
+		}
+	}
+}
+
+// The CSV round trip preserves every scalar column.
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cw := sink.NewCSV(&buf)
+	job := dispersion.Job{Process: "parallel", Spec: "complete:32", Trials: 10}
+	want := run(t, job, cw)
+	if err := cw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rows, err := sink.ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		res := want[i].Result
+		ref := sink.Row{
+			Trial:      want[i].Index,
+			Process:    res.Process,
+			Continuous: res.Continuous,
+			Makespan:   res.Makespan(),
+			Dispersion: res.Dispersion,
+			TotalSteps: res.TotalSteps,
+			Time:       res.Time,
+			Truncated:  res.Truncated,
+			Unsettled:  res.Unsettled(),
+		}
+		if row != ref {
+			t.Errorf("row %d: got %+v, want %+v", i, row, ref)
+		}
+	}
+}
+
+// A CSV sink that never saw a trial leaves its writer untouched; reading
+// an empty stream yields no rows.
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	cw := sink.NewCSV(&buf)
+	if err := cw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty CSV sink wrote %q", buf.String())
+	}
+	rows, err := sink.ReadCSV(&buf)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("ReadCSV on empty input: rows=%v err=%v", rows, err)
+	}
+}
+
+// Tee writes to every writer in order and propagates the first error.
+func TestTee(t *testing.T) {
+	var a, b bytes.Buffer
+	job := dispersion.Job{Process: "uniform", Spec: "path:16", Trials: 3}
+	run(t, job, sink.NewJSONL(&a), sink.NewJSONL(&b))
+	if a.String() != b.String() {
+		t.Error("teed JSONL writers diverged")
+	}
+	got, err := sink.ReadJSONL(&a)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d trials, want 3", len(got))
+	}
+}
