@@ -1,0 +1,128 @@
+// Command benchjson converts the text output of `go test -bench` on
+// stdin into a machine-readable JSON document on stdout, so CI can
+// archive each run's benchmark numbers as an artifact and the perf
+// trajectory of the repository accumulates point by point.
+//
+// Usage:
+//
+//	go test -run=NONE -bench . -benchtime 1x . | benchjson > BENCH_pr.json
+//
+// The output carries the goos/goarch/pkg/cpu context lines plus one
+// entry per benchmark with its name, GOMAXPROCS suffix, iteration count,
+// and every reported metric (ns/op, B/op, allocs/op, custom units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON document benchjson emits: the benchmark context
+// plus one Entry per benchmark line.
+type Report struct {
+	// Goos, Goarch, Pkg and CPU echo the context lines of the bench run.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks holds one entry per Benchmark result line, in input
+	// order.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -P GOMAXPROCS suffix, e.g. "Table1CliqueSeq".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark line (1 when the
+	// line carried none).
+	Procs int `json:"procs"`
+	// Iterations is b.N, the first column of the result line.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value, e.g.
+	// {"ns/op": 41250, "B/op": 16384, "allocs/op": 12}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` text output line by line.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	report := &Report{Benchmarks: []Entry{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			entry, ok, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				report.Benchmarks = append(report.Benchmarks, entry)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseBench parses one "BenchmarkName-P N v1 u1 v2 u2 ..." result line.
+// Lines that start with "Benchmark" but are not result lines (e.g. a
+// bare name echoed under -v) report ok = false.
+func parseBench(line string) (Entry, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Entry{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false, nil
+	}
+	entry := Entry{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Entry{}, false, fmt.Errorf("odd metric count in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("bad metric value in %q: %w", line, err)
+		}
+		entry.Metrics[rest[i+1]] = v
+	}
+	return entry, true, nil
+}

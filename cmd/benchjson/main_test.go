@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The parser turns a realistic -bench run into structured entries,
+// keeping the context lines and every metric pair.
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: dispersion
+cpu: AMD EPYC 7B13
+BenchmarkTable1CliqueSeq-8   	       1	     41250 ns/op
+BenchmarkCutPaste-8          	       2	   1203000 ns/op	  262144 B/op	     731 allocs/op
+BenchmarkStepCSR             	 1000000	        11.5 ns/op
+PASS
+ok  	dispersion	1.234s
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || report.Pkg != "dispersion" || report.CPU != "AMD EPYC 7B13" {
+		t.Errorf("context = %q %q %q %q", report.Goos, report.Goarch, report.Pkg, report.CPU)
+	}
+	want := []Entry{
+		{Name: "Table1CliqueSeq", Procs: 8, Iterations: 1, Metrics: map[string]float64{"ns/op": 41250}},
+		{Name: "CutPaste", Procs: 8, Iterations: 2, Metrics: map[string]float64{
+			"ns/op": 1203000, "B/op": 262144, "allocs/op": 731,
+		}},
+		{Name: "StepCSR", Procs: 1, Iterations: 1000000, Metrics: map[string]float64{"ns/op": 11.5}},
+	}
+	if !reflect.DeepEqual(report.Benchmarks, want) {
+		t.Errorf("benchmarks = %+v\nwant %+v", report.Benchmarks, want)
+	}
+}
+
+// Non-result Benchmark lines (the -v echo) are skipped, not errors.
+func TestParseSkipsEchoLines(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkStepCSR\nBenchmarkStepCSR-8 5 3 ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 1 || report.Benchmarks[0].Name != "StepCSR" {
+		t.Errorf("benchmarks = %+v", report.Benchmarks)
+	}
+}
+
+// A malformed metric pair is a hard error: silently dropping numbers
+// would corrupt the perf trajectory.
+func TestParseBadMetrics(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX-4 1 123 ns/op trailing\n"))); err == nil {
+		t.Fatal("odd metric count accepted")
+	}
+}

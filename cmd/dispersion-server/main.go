@@ -62,7 +62,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		log.Print("dispersion-server: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -75,8 +77,12 @@ func main() {
 	fmt.Printf("dispersion-server: listening on %s (max %d concurrent jobs)\n", *addr, *maxJobs)
 	err := srv.ListenAndServe()
 	// Cancel jobs after the listener stops accepting work, then wait for
-	// the workers so JSONL archives are complete on exit.
+	// the workers so JSONL archives are complete on exit — and for the
+	// graceful Shutdown, so open result streams get their X-Job-State
+	// trailer instead of an abrupt reset.
 	m.Close()
+	stop()
+	<-shutdownDone
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("dispersion-server: %v", err)
 	}

@@ -3,6 +3,7 @@ package dispersion
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"dispersion/graphspec"
 	"dispersion/internal/walk"
@@ -43,14 +44,21 @@ type Job struct {
 	Origin int
 	// Trials is the number of independent realizations to run.
 	Trials int
+	// FirstTrial offsets the trial range: the job runs trials
+	// [FirstTrial, FirstTrial+Trials), and trial i still draws the split
+	// stream (Seed, Experiment, i). An offset job's results are therefore
+	// bit-identical to the corresponding slice of one contiguous run —
+	// the invariant that lets trial ranges shard across jobs and machines
+	// (see dispersion/shard). Zero runs [0, Trials) as before.
+	FirstTrial int
 	// Options configure every trial identically.
 	Options []Option
 }
 
 // Trial is one realization delivered to an Engine.Run callback.
 type Trial struct {
-	// Index is the trial number in [0, Trials); callbacks always see
-	// indices in increasing order.
+	// Index is the trial number in [FirstTrial, FirstTrial+Trials);
+	// callbacks always see indices in increasing order.
 	Index int
 	// Result is the trial's full outcome.
 	Result *Result
@@ -78,6 +86,12 @@ func (job Job) Validate() error {
 	}
 	if job.Trials <= 0 {
 		return fmt.Errorf("dispersion: job wants %d trials (need at least 1)", job.Trials)
+	}
+	if job.FirstTrial < 0 {
+		return fmt.Errorf("dispersion: job starts at trial %d (need a non-negative offset)", job.FirstTrial)
+	}
+	if job.FirstTrial > math.MaxInt-job.Trials {
+		return fmt.Errorf("dispersion: trial range [%d,%d+%d) overflows", job.FirstTrial, job.FirstTrial, job.Trials)
 	}
 	return nil
 }
@@ -109,7 +123,7 @@ func (e Engine) Run(ctx context.Context, job Job, each func(Trial) error) error 
 	if e.Workers > 0 {
 		rn.SetWorkers(e.Workers)
 	}
-	return walk.Stream(ctx, rn, job.Trials,
+	return walk.StreamFrom(ctx, rn, job.FirstTrial, job.Trials,
 		func(i int, r *Source) (*Result, error) {
 			return p.Run(g, job.Origin, r, job.Options...)
 		},

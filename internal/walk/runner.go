@@ -59,16 +59,31 @@ type streamed[T any] struct {
 // single goroutine.
 //
 // The first error — from ctx, fn, or each — stops the stream and is
-// returned; trials past the failure point may never run.
+// returned; trials past the failure point may never run. Once every
+// trial has been delivered successfully, Stream returns nil even if ctx
+// is cancelled afterwards.
 func Stream[T any](ctx context.Context, rn *Runner, trials int,
 	fn func(trial int, r *rng.Source) (T, error),
 	each func(trial int, v T) error) error {
+	return StreamFrom(ctx, rn, 0, trials, fn, each)
+}
+
+// StreamFrom is Stream with an offset claim cursor: it runs the trial
+// range [first, first+trials) instead of [0, trials). Trial i still
+// draws the split stream Split(experimentID, i), so the results of an
+// offset range are bit-identical to the corresponding slice of one
+// contiguous [0, n) stream — this is what lets trial ranges shard
+// across jobs and machines. first must be non-negative.
+func StreamFrom[T any](ctx context.Context, rn *Runner, first, trials int,
+	fn func(trial int, r *rng.Source) (T, error),
+	each func(trial int, v T) error) error {
 	if trials <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	end := first + trials
 	workers := rn.workers
 	if workers > trials {
 		workers = trials
@@ -85,7 +100,7 @@ func Stream[T any](ctx context.Context, rn *Runner, trials int,
 	}
 
 	results := make(chan streamed[T], window)
-	var next int
+	next := first
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -102,7 +117,7 @@ func Stream[T any](ctx context.Context, rn *Runner, trials int,
 				i := next
 				next++
 				mu.Unlock()
-				if i >= trials {
+				if i >= end {
 					return
 				}
 				v, err := fn(i, rn.root.Split(rn.experimentID, uint64(i)))
@@ -126,9 +141,9 @@ func Stream[T any](ctx context.Context, rn *Runner, trials int,
 	// before the failing trial's error is returned. A callback error
 	// stops delivery at that point instead.
 	var firstErr error
-	failIdx := trials // lowest trial index that failed (or delivery cut-off)
+	failIdx := end // lowest trial index that failed (or delivery cut-off)
 	pending := make(map[int]T, window)
-	deliver := 0
+	deliver := first
 	for res := range results {
 		if res.err != nil {
 			if res.trial < failIdx {
@@ -156,6 +171,11 @@ func Stream[T any](ctx context.Context, rn *Runner, trials int,
 	}
 	if firstErr != nil {
 		return firstErr
+	}
+	if deliver >= end {
+		// Every trial was delivered; a parent-context cancellation that
+		// landed after the last delivery is not an error of this stream.
+		return nil
 	}
 	return ctx.Err()
 }

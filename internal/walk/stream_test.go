@@ -128,6 +128,72 @@ func TestStreamCancellation(t *testing.T) {
 	}
 }
 
+// TestStreamFromMatchesSlice checks the sharding invariant: an offset
+// range delivers results bit-identical to the corresponding slice of one
+// contiguous stream, for any worker count.
+func TestStreamFromMatchesSlice(t *testing.T) {
+	const total = 100
+	fn := func(i int, r *rng.Source) (float64, error) {
+		return float64(i)*1e9 + float64(r.Intn(1000)), nil
+	}
+	whole := make([]float64, 0, total)
+	if err := Stream(context.Background(), NewRunner(8, 3), total, fn,
+		func(i int, v float64) error { whole = append(whole, v); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ first, trials, workers int }{
+		{0, 100, 2}, {0, 37, 1}, {37, 40, 3}, {77, 23, 8}, {99, 1, 4},
+	} {
+		rn := NewRunner(8, 3)
+		rn.SetWorkers(tc.workers)
+		got := make([]float64, 0, tc.trials)
+		err := StreamFrom(context.Background(), rn, tc.first, tc.trials, fn,
+			func(i int, v float64) error {
+				if want := tc.first + len(got); i != want {
+					t.Fatalf("delivery out of order: got trial %d, want %d", i, want)
+				}
+				got = append(got, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := whole[tc.first : tc.first+tc.trials]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("range [%d,%d) with %d workers diverged from the contiguous slice",
+				tc.first, tc.first+tc.trials, tc.workers)
+		}
+	}
+}
+
+// TestStreamNoSpuriousCancelError is the regression test for the tail of
+// Stream: a parent cancellation that lands after the last trial has been
+// delivered must not turn a fully successful stream into an error.
+func TestStreamNoSpuriousCancelError(t *testing.T) {
+	const trials = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rn := NewRunner(1, 1)
+	rn.SetWorkers(4)
+	delivered := 0
+	err := Stream(ctx, rn, trials,
+		func(i int, r *rng.Source) (int, error) { return i, nil },
+		func(i int, v int) error {
+			delivered++
+			if i == trials-1 {
+				// The caller cancels as soon as it has everything — the
+				// natural shape of a consumer that got what it wanted.
+				cancel()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("fully delivered stream returned %v after post-completion cancel", err)
+	}
+	if delivered != trials {
+		t.Fatalf("delivered %d of %d trials", delivered, trials)
+	}
+}
+
 func TestStreamZeroTrials(t *testing.T) {
 	if err := Stream(context.Background(), NewRunner(1, 1), 0,
 		func(i int, r *rng.Source) (int, error) { return 0, nil },

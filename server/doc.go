@@ -15,7 +15,7 @@
 //     POST   /v1/jobs              submit a job (JSON body), returns its status
 //     GET    /v1/jobs              list all job statuses
 //     GET    /v1/jobs/{id}         poll one job's status and progress
-//     GET    /v1/jobs/{id}/results stream results as NDJSON; ?from=K resumes at trial K
+//     GET    /v1/jobs/{id}/results stream results as NDJSON; ?from=K resumes at line K
 //     DELETE /v1/jobs/{id}         cancel a job
 //     GET    /v1/processes         registered processes and graph-spec kinds
 //     GET    /healthz              liveness probe
@@ -24,8 +24,16 @@
 // Results are bit-for-bit identical to a direct Engine.Run with the same
 // (seed, experiment, trials) — the engine derives trial i's randomness
 // from the split stream (seed, experiment, i), independent of worker
-// counts — so a stream interrupted at trial k and resumed with ?from=k
-// continues without gaps, duplicates, or divergence.
+// counts — so a stream interrupted after k lines and resumed with
+// ?from=k continues without gaps, duplicates, or divergence. When the
+// stream ends because the job reached a terminal state, that state is
+// sent as the X-Job-State HTTP trailer (TrailerJobState), letting
+// resuming clients tell a finished job from a cut connection.
+//
+// A job may be a shard of a larger logical run: first_trial offsets its
+// trial range to [first_trial, first_trial+trials) while trial i keeps
+// the split stream (seed, experiment, i), so disjoint-range jobs
+// composed by dispersion/shard reproduce one contiguous run exactly.
 //
 // Completed results are kept in memory for the lifetime of the job (they
 // are what makes ?from= resumption and late consumers possible), so a

@@ -121,11 +121,24 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Wait(r.Context()))
 }
 
+// TrailerJobState is the HTTP trailer the results stream sends when the
+// job's terminal state ends it: "done", "failed", or "cancelled". A
+// stream that stops without this trailer was cut by the transport (or by
+// the client), not by the job — a resuming client (and the
+// dispersion/shard coordinator) uses the distinction to decide between
+// reconnecting with ?from= and resubmitting the remaining trial range.
+const TrailerJobState = "X-Job-State"
+
 // results handles GET /v1/jobs/{id}/results: an NDJSON stream of
-// sink.Record lines in trial order, starting at ?from= (default 0) and
-// following the job live until it reaches a terminal state. Reconnecting
-// with from = <number of lines already seen> resumes exactly, because
-// trial i's result is a pure function of the job request.
+// sink.Record lines in trial order, starting at line ?from= (default 0)
+// and following the job live until it reaches a terminal state.
+// Reconnecting with from = <number of lines already seen> resumes
+// exactly, because trial i's result is a pure function of the job
+// request. from addresses stream lines, not absolute trial indices: line
+// p of a job carries trial FirstTrial+p.
+//
+// When the stream ends because the job reached a terminal state, that
+// state is exposed as the TrailerJobState HTTP trailer.
 func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -135,15 +148,20 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("from"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			fail(w, http.StatusBadRequest, "bad from=%q (want a non-negative trial index)", q)
+			fail(w, http.StatusBadRequest, "bad from=%q (want a non-negative line index)", q)
 			return
 		}
 		from = v
 	}
-	if trials := j.Status().Request.Trials; from > trials {
-		fail(w, http.StatusBadRequest, "from=%d beyond the job's %d trials", from, trials)
+	// The request echo is immutable after submit; one snapshot serves
+	// both reads.
+	jobReq := j.Status().Request
+	if from > jobReq.Trials {
+		fail(w, http.StatusBadRequest, "from=%d beyond the job's %d trials", from, jobReq.Trials)
 		return
 	}
+	first := jobReq.FirstTrial
+	w.Header().Set("Trailer", TrailerJobState)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -151,14 +169,20 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	for i := from; ; i++ {
 		res, ok := j.Next(r.Context(), i)
 		if !ok {
-			return
+			break
 		}
-		if err := out.Write(dispersion.Trial{Index: i, Result: res}); err != nil {
+		if err := out.Write(dispersion.Trial{Index: first + i, Result: res}); err != nil {
 			return
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	// Next returns false either because the job is terminal or because
+	// the client went away; only a terminal state ends the stream
+	// authoritatively, and only then is the trailer sent.
+	if st := j.Status().State; st.Terminal() {
+		w.Header().Set(TrailerJobState, string(st))
 	}
 }
 

@@ -28,6 +28,14 @@ type JobRequest struct {
 	Origin int `json:"origin"`
 	// Trials is the number of independent realizations to run.
 	Trials int `json:"trials"`
+	// FirstTrial offsets the job's trial range to
+	// [FirstTrial, FirstTrial+Trials); trial i still draws the split
+	// stream (Seed, Experiment, i), so an offset job is a shard: its
+	// results are bit-identical to the corresponding slice of one
+	// contiguous run with the same coordinates. The results stream
+	// addresses lines by position within the job — line p of a shard is
+	// trial FirstTrial+p.
+	FirstTrial int `json:"first_trial,omitempty"`
 	// Seed roots all randomness of the job, including random graph
 	// families built from Spec. Equal requests reproduce results exactly.
 	Seed uint64 `json:"seed"`
@@ -86,11 +94,12 @@ func (o Options) build() []dispersion.Option {
 // job renders the request as the engine's job description.
 func (r JobRequest) job() dispersion.Job {
 	return dispersion.Job{
-		Process: r.Process,
-		Spec:    r.Spec,
-		Origin:  r.Origin,
-		Trials:  r.Trials,
-		Options: r.Options.build(),
+		Process:    r.Process,
+		Spec:       r.Spec,
+		Origin:     r.Origin,
+		Trials:     r.Trials,
+		FirstTrial: r.FirstTrial,
+		Options:    r.Options.build(),
 	}
 }
 
@@ -408,7 +417,6 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 			return
 		}
 		archive = f
-		defer archive.Close()
 		each = sink.Tee(sinkFunc(each), sink.NewJSONL(f))
 	}
 
@@ -418,6 +426,14 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		Workers:    m.opts.EngineWorkers,
 	}
 	err := eng.Run(ctx, j.req.job(), each)
+	// Close the archive before the terminal-state transition: a close
+	// error means the archive may have lost its final buffered bytes, and
+	// a job must not report done over a truncated archive.
+	if archive != nil {
+		if cerr := archive.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("results archive: %w", cerr)
+		}
+	}
 	switch {
 	case err == nil:
 		j.setState(StateDone, "")

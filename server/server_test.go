@@ -484,6 +484,83 @@ func TestCloseFenceAndRestartUniqueIDs(t *testing.T) {
 	}
 }
 
+// An offset job (first_trial > 0) is a shard: its stream is
+// line-for-line identical to the matching slice of the contiguous run,
+// and ?from= stays line-addressed within the shard.
+func TestFirstTrialShardMatchesSlice(t *testing.T) {
+	ts, _ := newServer(t, server.ManagerOptions{})
+	whole := server.JobRequest{
+		Process: "parallel", Spec: "torus:8x8", Trials: 12, Seed: 6, Experiment: 2,
+	}
+	want := direct(t, whole)
+
+	sharded := whole
+	sharded.FirstTrial, sharded.Trials = 5, 7
+	st := submit(t, ts, sharded)
+	if got := stream(t, ts, st.ID, 0); !reflect.DeepEqual(got, want[5:12]) {
+		t.Fatal("offset shard diverged from the contiguous run's slice")
+	}
+	// from=2 is the shard's third line, i.e. trial 7 of the logical run.
+	if got := stream(t, ts, st.ID, 2); !reflect.DeepEqual(got, want[7:12]) {
+		t.Fatal("?from= within an offset shard diverged")
+	}
+}
+
+// streamTrailer drains a job's results stream and returns its lines plus
+// the X-Job-State trailer observed at EOF.
+func streamTrailer(t *testing.T, ts *httptest.Server, id string) ([]string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatalf("GET results: %v", err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	return lines, resp.Trailer.Get(server.TrailerJobState)
+}
+
+// The results stream announces the job's terminal state in an HTTP
+// trailer, so a resuming client can tell a completed stream from a dead
+// job or a cut connection.
+func TestResultsTrailerReportsTerminalState(t *testing.T) {
+	ts, m := newServer(t, server.ManagerOptions{})
+
+	done := submit(t, ts, server.JobRequest{
+		Process: "parallel", Spec: "complete:16", Trials: 3, Seed: 1,
+	})
+	if _, state := streamTrailer(t, ts, done.ID); state != string(server.StateDone) {
+		t.Errorf("completed job's trailer = %q, want %q", state, server.StateDone)
+	}
+
+	failed := submit(t, ts, server.JobRequest{
+		Process: "parallel", Spec: "complete:not-a-number", Trials: 1,
+	})
+	if _, state := streamTrailer(t, ts, failed.ID); state != string(server.StateFailed) {
+		t.Errorf("failed job's trailer = %q, want %q", state, server.StateFailed)
+	}
+
+	cancelled := submit(t, ts, server.JobRequest{
+		Process: "sequential", Spec: "complete:512", Trials: 1 << 30, Seed: 1,
+	})
+	if lines := streamPrefix(t, ts, cancelled.ID, 1); len(lines) != 1 {
+		t.Fatalf("got %d lines before cancel, want 1", len(lines))
+	}
+	j, _ := m.Get(cancelled.ID)
+	j.Cancel()
+	j.Wait(context.Background())
+	if _, state := streamTrailer(t, ts, cancelled.ID); state != string(server.StateCancelled) {
+		t.Errorf("cancelled job's trailer = %q, want %q", state, server.StateCancelled)
+	}
+}
+
 // A job whose graph spec parses but fails to build surfaces as a failed
 // job, not a dead server.
 func TestRuntimeFailure(t *testing.T) {

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"dispersion"
+	"dispersion/server"
+	"dispersion/sink"
+)
+
+// checkpoint is the coordinator's write-ahead result log: a JSONL file
+// of sink.Record lines in trial order, appended before each result is
+// handed to the caller and fsynced periodically, so a killed coordinator
+// resumes from the last durable prefix without recomputing it.
+type checkpoint struct {
+	f        *os.File
+	enc      *json.Encoder
+	unsynced int
+}
+
+// syncEvery is how many appended records may accumulate between fsyncs.
+// A crash loses at most this many trials of progress — they are simply
+// recomputed on resume — while million-trial runs avoid a sync per line.
+const syncEvery = 4096
+
+// resumeCheckpoint opens (creating if absent) the JSONL log at path,
+// replays every durable record to each, and returns the append handle
+// plus the number of records replayed. The log must belong to exactly
+// the logical job req describes — its identity is pinned by a
+// "<path>.meta" sidecar holding the request JSON, so resuming with a
+// different seed, spec, process, options, or trial range is rejected
+// instead of silently mixing stale results — and must hold the
+// contiguous trial prefix req.FirstTrial, req.FirstTrial+1, ... A
+// partial final line — the footprint of a crash mid-append — is
+// truncated away, not an error.
+func resumeCheckpoint(path string, req server.JobRequest, each func(dispersion.Trial) error) (*checkpoint, int, error) {
+	first, trials := req.FirstTrial, req.Trials
+	if err := pinRequest(path, req); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var good int64 // byte offset just past the last intact record
+	n := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No newline before EOF: an interrupted final append.
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			good += int64(len(line))
+			continue
+		}
+		var rec sink.Record
+		if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+			if _, perr := br.Peek(1); perr == io.EOF {
+				// A corrupt *final* line is a torn write too; drop it.
+				break
+			}
+			f.Close()
+			return nil, 0, fmt.Errorf("checkpoint %s: bad record %d: %w", path, n, uerr)
+		}
+		if rec.Trial != first+n || n >= trials {
+			f.Close()
+			return nil, 0, fmt.Errorf("checkpoint %s: holds trial %d at record %d, want trial %d of %d — not this run's checkpoint",
+				path, rec.Trial, n, first+n, trials)
+		}
+		if each != nil {
+			if cerr := each(dispersion.Trial{Index: rec.Trial, Result: rec.Result}); cerr != nil {
+				f.Close()
+				return nil, 0, cerr
+			}
+		}
+		good += int64(len(line))
+		n++
+	}
+	// Drop any torn tail and position appends at the end of the durable
+	// prefix.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return &checkpoint{f: f, enc: json.NewEncoder(f)}, n, nil
+}
+
+// pinRequest binds the checkpoint to the logical job request via a
+// "<path>.meta" sidecar: written on first use, compared on resume. A log
+// with records but no sidecar is unidentifiable and rejected.
+func pinRequest(path string, req server.JobRequest) error {
+	want, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	metaPath := path + ".meta"
+	existing, err := os.ReadFile(metaPath)
+	switch {
+	case err == nil:
+		if !bytes.Equal(bytes.TrimSpace(existing), want) {
+			return fmt.Errorf("checkpoint %s belongs to a different job request (see %s)", path, metaPath)
+		}
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		if st, serr := os.Stat(path); serr == nil && st.Size() > 0 {
+			return fmt.Errorf("checkpoint %s has records but no %s sidecar identifying its request", path, metaPath)
+		}
+		return os.WriteFile(metaPath, append(want, '\n'), 0o644)
+	default:
+		return err
+	}
+}
+
+// Append logs one merged result ahead of its delivery to the caller.
+func (c *checkpoint) Append(t dispersion.Trial) error {
+	if err := c.enc.Encode(sink.Record{Trial: t.Index, Result: t.Result}); err != nil {
+		return err
+	}
+	c.unsynced++
+	if c.unsynced >= syncEvery {
+		c.unsynced = 0
+		return c.f.Sync()
+	}
+	return nil
+}
+
+// Close syncs and closes the log, reporting any error — the caller must
+// not claim durable completion over a failed sync.
+func (c *checkpoint) Close() error {
+	serr := c.f.Sync()
+	cerr := c.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,475 @@
+// Package shard fans one logical dispersion job out as disjoint
+// trial-range shards across one or more dispersion servers and merges
+// the result streams back into a single in-order callback.
+//
+// The engine's determinism contract makes sharding trivial to state:
+// trial i of a job always draws the split random stream
+// (seed, experiment, i), so a server.JobRequest with FirstTrial = f and
+// Trials = n computes exactly trials [f, f+n) of the one logical run —
+// bit-identical to the corresponding slice of a contiguous run. The
+// Coordinator splits [FirstTrial, FirstTrial+Trials) into K contiguous
+// ranges, submits each as its own job (round-robin over the configured
+// servers), consumes the K NDJSON streams concurrently, and delivers the
+// merged results in strict trial order, exactly once.
+//
+// Failures are retried without recomputation: a stream cut by the
+// transport reconnects with ?from= advanced past the lines already
+// consumed, and a shard whose job dies (server restart, cancellation) is
+// resubmitted with FirstTrial advanced past the trials already
+// delivered. The server's X-Job-State trailer (server.TrailerJobState)
+// is what distinguishes the two cases: a stream that ends with the
+// trailer "done" is complete, while "failed"/"cancelled" or a missing
+// trailer triggers the retry path.
+//
+// With Checkpoint set, every merged result is appended to a JSONL
+// write-ahead log before it reaches the callback, so a killed
+// coordinator resumes exactly where it stopped: on the next Run the log
+// is replayed to the callback from disk and only the remaining trial
+// range is resubmitted.
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dispersion"
+	"dispersion/server"
+	"dispersion/sink"
+)
+
+// Coordinator fans one logical job out as disjoint trial-range shards.
+// The zero value is not usable: at least one server URL is required.
+type Coordinator struct {
+	// Servers are the dispersion-server base URLs (e.g.
+	// "http://host:8080") the shards are submitted to, round-robin by
+	// shard index; retries rotate to the next server.
+	Servers []string
+	// Shards is K, the number of disjoint trial ranges the job is split
+	// into. 0 means one shard per server. K is capped at the trial count.
+	Shards int
+	// Checkpoint is the path of the JSONL write-ahead result log. A
+	// "<Checkpoint>.meta" sidecar pins the log to its job request, so a
+	// resume with different coordinates is rejected rather than mixing
+	// stale results. Empty disables checkpointing: a killed coordinator
+	// then restarts the run from scratch.
+	Checkpoint string
+	// Client is the HTTP client used for all requests; nil means
+	// http.DefaultClient. Do not set a client Timeout: result streams of
+	// long jobs are expected to stay open indefinitely.
+	Client *http.Client
+	// Retries caps the consecutive attempts a shard makes without
+	// delivering a single new result before the run is abandoned;
+	// attempts that make progress reset the budget. 0 means 5.
+	Retries int
+}
+
+// trialRange is one shard's slice [first, first+trials) of the logical
+// trial range.
+type trialRange struct {
+	first, trials int
+}
+
+// splitRange cuts [first, first+trials) into at most k contiguous
+// non-empty ranges of near-equal size. The split depends only on
+// (first, trials, k), so shard boundaries are stable across resumes.
+func splitRange(first, trials, k int) []trialRange {
+	out := make([]trialRange, 0, k)
+	for i := 0; i < k; i++ {
+		lo := first + i*trials/k
+		hi := first + (i+1)*trials/k
+		if hi > lo {
+			out = append(out, trialRange{first: lo, trials: hi - lo})
+		}
+	}
+	return out
+}
+
+// client returns the configured HTTP client.
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// retries returns the configured no-progress attempt budget.
+func (c *Coordinator) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 5
+}
+
+// shardStream carries one shard's in-order results to the merger. err is
+// set before ch is closed.
+type shardStream struct {
+	ch  chan dispersion.Trial
+	err error
+}
+
+// Run executes the logical job described by req — trials
+// [req.FirstTrial, req.FirstTrial+req.Trials) of (seed, experiment) —
+// across the coordinator's servers and delivers every result to each in
+// strict trial order, exactly once: the merged stream is bit-identical
+// to a single contiguous Engine.Run (or one unsharded server job) with
+// the same coordinates. each may be nil to discard results.
+//
+// With Checkpoint set, results already in the log are replayed to each
+// from disk first and only the remainder is computed, so Run is
+// restartable: kill it at any point and call it again with the same
+// request. Run returns the first unrecoverable error — a context
+// cancellation, a callback or checkpoint error, or a shard that
+// exhausted its retry budget.
+func (c *Coordinator) Run(ctx context.Context, req server.JobRequest, each func(dispersion.Trial) error) error {
+	if len(c.Servers) == 0 {
+		return errors.New("shard: no servers configured")
+	}
+	// Mirror the server's submit-time validation locally so a malformed
+	// request fails before any shard is queued anywhere.
+	probe := dispersion.Job{
+		Process:    req.Process,
+		Spec:       req.Spec,
+		Origin:     req.Origin,
+		Trials:     req.Trials,
+		FirstTrial: req.FirstTrial,
+	}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+
+	delivered := 0
+	var ckpt *checkpoint
+	if c.Checkpoint != "" {
+		var err error
+		ckpt, delivered, err = resumeCheckpoint(c.Checkpoint, req, each)
+		if err != nil {
+			return err
+		}
+	}
+	closeCkpt := func() error {
+		if ckpt == nil {
+			return nil
+		}
+		cp := ckpt
+		ckpt = nil
+		return cp.Close()
+	}
+	defer closeCkpt()
+	if delivered == req.Trials {
+		return closeCkpt()
+	}
+
+	k := c.Shards
+	if k <= 0 {
+		k = len(c.Servers)
+	}
+	if k > req.Trials {
+		k = req.Trials
+	}
+	// Split the full logical range so shard boundaries are stable across
+	// resumes, then clip away the prefix the checkpoint already holds.
+	resumeFrom := req.FirstTrial + delivered
+	var ranges []trialRange
+	for _, rg := range splitRange(req.FirstTrial, req.Trials, k) {
+		end := rg.first + rg.trials
+		if end <= resumeFrom {
+			continue
+		}
+		if rg.first < resumeFrom {
+			rg = trialRange{first: resumeFrom, trials: end - resumeFrom}
+		}
+		ranges = append(ranges, rg)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	streams := make([]*shardStream, len(ranges))
+	for i := range ranges {
+		ss := &shardStream{ch: make(chan dispersion.Trial, 256)}
+		streams[i] = ss
+		go func(idx int, rg trialRange, ss *shardStream) {
+			defer close(ss.ch)
+			ss.err = c.runShard(runCtx, idx, rg, req, ss.ch)
+		}(i, ranges[i], ss)
+	}
+
+	// Merge: shards cover contiguous ranges in index order, so draining
+	// them one after another yields the global trial order. Later shards
+	// compute (and buffer server-side) while earlier ones drain.
+	next := resumeFrom
+	for i, ss := range streams {
+		for tr := range ss.ch {
+			if tr.Index != next {
+				return fmt.Errorf("shard: shard %d delivered trial %d, want %d", i, tr.Index, next)
+			}
+			if ckpt != nil {
+				if err := ckpt.Append(tr); err != nil {
+					return fmt.Errorf("shard: checkpoint: %w", err)
+				}
+			}
+			if each != nil {
+				if err := each(tr); err != nil {
+					return err
+				}
+			}
+			next++
+		}
+		if ss.err != nil {
+			rg := ranges[i]
+			return fmt.Errorf("shard: shard %d (trials [%d,%d)): %w", i, rg.first, rg.first+rg.trials, ss.err)
+		}
+	}
+	return closeCkpt()
+}
+
+// errJobGone reports that a shard's job no longer exists on its server
+// (e.g. the server restarted), so reconnecting is pointless and the
+// remaining range must be resubmitted.
+var errJobGone = errors.New("job no longer exists on its server")
+
+// runShard drives one shard to completion: submit its trial range as a
+// job, follow the job's result stream, and on any interruption resume
+// without recomputation — reconnect with ?from= while the job is alive,
+// resubmit the undelivered remainder (rotating servers) when it is not.
+// Results are pushed into ch in trial order.
+func (c *Coordinator) runShard(ctx context.Context, idx int, rg trialRange, req server.JobRequest, ch chan<- dispersion.Trial) (err error) {
+	var (
+		done     int    // trials of this shard already pushed into ch
+		jobURL   string // active job, "" when a (re)submit is needed
+		streamed int    // result lines already consumed from the active job
+		fails    int    // consecutive attempts with no progress
+		lastErr  error
+	)
+	// An abandoned exit leaves the active job computing a range nobody
+	// will ever consume; cancel it so the server stops burning cores.
+	defer func() {
+		if err != nil && jobURL != "" {
+			c.cancelJob(jobURL)
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if fails >= c.retries() {
+			return fmt.Errorf("no progress after %d attempts: %w", fails, lastErr)
+		}
+		if fails > 0 {
+			// Back off after a no-progress attempt so a brief outage — a
+			// server restart, say — does not burn the whole retry budget
+			// in microseconds.
+			backoff := min(250*time.Millisecond<<(fails-1), 5*time.Second)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if jobURL == "" {
+			shardReq := req
+			shardReq.FirstTrial = rg.first + done
+			shardReq.Trials = rg.trials - done
+			base := c.Servers[(idx+attempt)%len(c.Servers)]
+			st, err := c.submit(ctx, base, shardReq)
+			if err != nil {
+				lastErr = err
+				fails++
+				continue
+			}
+			jobURL = strings.TrimSuffix(base, "/") + "/v1/jobs/" + st.ID
+			streamed = 0
+		}
+		n, state, err := c.follow(ctx, jobURL, streamed, rg.first+done, ch)
+		streamed += n
+		done += n
+		if n > 0 {
+			fails = 0
+		}
+		if done == rg.trials {
+			// Every trial of the range is delivered and merged; whatever
+			// terminal label the job ends up with afterwards (e.g.
+			// "failed" because a server-side archive close failed) cannot
+			// change the results, and resubmitting a zero-trial
+			// remainder would be rejected anyway.
+			return nil
+		}
+		if err == nil && state == "" {
+			// A clean EOF without the trailer (e.g. a trailer-stripping
+			// proxy between coordinator and server): the status endpoint
+			// disambiguates a finished job from a cut connection.
+			if st, ok := c.jobStatus(ctx, jobURL); ok && st.State.Terminal() {
+				state = st.State
+			}
+		}
+		switch {
+		case err == nil && state == server.StateDone:
+			// done == rg.trials returned above, so this stream ended
+			// short of the submitted range: a server-side bug.
+			return fmt.Errorf("job reported done after %d of %d trials", done, rg.trials)
+		case err == nil && (state == server.StateFailed || state == server.StateCancelled):
+			// The job is terminally dead; resubmit the rest of the range
+			// on the next server. A deterministic failure will exhaust
+			// the retry budget and surface here.
+			lastErr = fmt.Errorf("job ended %s%s", state, c.jobError(ctx, jobURL))
+			jobURL = ""
+			fails++
+		case errors.Is(err, errJobGone):
+			lastErr = err
+			jobURL = ""
+			fails++
+		default:
+			// Transport cut (connection drop, truncated line, or a clean
+			// EOF without the state trailer): the job itself may be fine,
+			// so reconnect to it with ?from= advanced.
+			if err == nil {
+				err = errors.New("stream ended without a job-state trailer")
+			}
+			lastErr = err
+			fails++
+		}
+	}
+}
+
+// submit POSTs one shard's job request to the given server and returns
+// the accepted status.
+func (c *Coordinator) submit(ctx context.Context, base string, req server.JobRequest) (server.Status, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.Status{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(base, "/")+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return server.Status{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		return server.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return server.Status{}, fmt.Errorf("submit to %s: HTTP %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, fmt.Errorf("submit to %s: %w", base, err)
+	}
+	return st, nil
+}
+
+// follow streams the active job's results from line offset from, pushing
+// each record into ch and checking that indices continue at wantNext. It
+// returns the number of records pushed and, when the stream ended at a
+// terminal job state, that state from the X-Job-State trailer; a
+// transport-level interruption returns the error instead.
+func (c *Coordinator) follow(ctx context.Context, jobURL string, from, wantNext int, ch chan<- dispersion.Trial) (int, server.State, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/results?from=%d", jobURL, from), nil)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, "", errJobGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, "", fmt.Errorf("results: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	n := 0
+	// A plain reader, not a Scanner: record=true result lines have no
+	// a-priori size bound, and a fixed cap would misread an oversized
+	// line as a transport failure.
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			if len(bytes.TrimSpace(line)) != 0 {
+				// Data after the last newline: the connection was cut
+				// mid-line; the reconnect re-requests the line whole.
+				return n, "", fmt.Errorf("stream cut mid-line at record %d", from+n)
+			}
+			return n, server.State(resp.Trailer.Get(server.TrailerJobState)), nil
+		}
+		if rerr != nil {
+			return n, "", rerr
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec sink.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, "", fmt.Errorf("bad result line %d: %w", from+n, err)
+		}
+		if rec.Trial != wantNext+n {
+			return n, "", fmt.Errorf("stream out of order: got trial %d, want %d", rec.Trial, wantNext+n)
+		}
+		select {
+		case ch <- dispersion.Trial{Index: rec.Trial, Result: rec.Result}:
+		case <-ctx.Done():
+			return n, "", ctx.Err()
+		}
+		n++
+	}
+}
+
+// cancelJob best-effort DELETEs an abandoned job. It runs on its own
+// short-lived context, because cleanup is needed exactly when the run
+// context is already dead.
+func (c *Coordinator) cancelJob(jobURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, jobURL, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// jobStatus polls the job's status endpoint, best-effort: ok is false
+// when the job is unreachable or undecodable.
+func (c *Coordinator) jobStatus(ctx context.Context, jobURL string) (server.Status, bool) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL, nil)
+	if err != nil {
+		return server.Status{}, false
+	}
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		return server.Status{}, false
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return server.Status{}, false
+	}
+	return st, true
+}
+
+// jobError fetches the dead job's failure message for error reporting,
+// best-effort: it returns "" when the status is unreachable.
+func (c *Coordinator) jobError(ctx context.Context, jobURL string) string {
+	st, ok := c.jobStatus(ctx, jobURL)
+	if !ok || st.Error == "" {
+		return ""
+	}
+	return ": " + st.Error
+}

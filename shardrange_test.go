@@ -1,0 +1,128 @@
+package dispersion_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"dispersion"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+)
+
+// lines renders one job's trials as their canonical JSONL-ish lines so
+// runs can be compared bit-for-bit.
+func lines(t *testing.T, eng dispersion.Engine, job dispersion.Job) []string {
+	t.Helper()
+	out := make([]string, 0, job.Trials)
+	err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+		b, err := json.Marshal(struct {
+			Trial  int                `json:"trial"`
+			Result *dispersion.Result `json:"result"`
+		}{tr.Index, tr.Result})
+		if err != nil {
+			return err
+		}
+		out = append(out, string(b))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Engine.Run: %v", err)
+	}
+	return out
+}
+
+// TestFirstTrialShardsMatchContiguous is the sharding property test: for
+// every registered process, splitting the trial range into FirstTrial
+// shards — several split shapes, a different worker count per shard —
+// reproduces the contiguous run bit for bit.
+func TestFirstTrialShardsMatchContiguous(t *testing.T) {
+	const total = 24
+	splits := [][]int{
+		{total},               // one shard: FirstTrial plumbing is a no-op
+		{8, 9, 7},             // uneven 3-way
+		{3, 4, 3, 4, 3, 4, 3}, // 7-way
+		{1, 22, 1},            // extreme edges
+	}
+	for _, proc := range dispersion.Processes() {
+		base := dispersion.Job{Process: proc, Spec: "complete:16", Trials: total}
+		want := lines(t, dispersion.Engine{Seed: 5, Experiment: 2}, base)
+		for si, split := range splits {
+			var got []string
+			first := 0
+			for k, n := range split {
+				eng := dispersion.Engine{Seed: 5, Experiment: 2, Workers: 1 + (si+3*k)%7}
+				job := base
+				job.FirstTrial, job.Trials = first, n
+				shard := lines(t, eng, job)
+				if len(shard) != n {
+					t.Fatalf("%s split %d shard %d: %d lines, want %d", proc, si, k, len(shard), n)
+				}
+				got = append(got, shard...)
+				first += n
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: split %v diverged from the contiguous run", proc, split)
+			}
+		}
+	}
+}
+
+// TestFirstTrialValidate pins the submit-time validation of the offset.
+func TestFirstTrialValidate(t *testing.T) {
+	job := dispersion.Job{Process: "parallel", Spec: "complete:8", Trials: 1, FirstTrial: -1}
+	if err := job.Validate(); err == nil {
+		t.Fatal("negative FirstTrial validated")
+	}
+	job.FirstTrial = 1 << 20
+	if err := job.Validate(); err != nil {
+		t.Fatalf("large FirstTrial rejected: %v", err)
+	}
+}
+
+// TestShardedSampleMatchesExact checks one sharded configuration against
+// internal/exact ground truth: the pooled sample mean of the sequential
+// dispersion time on K_6, accumulated across three FirstTrial shards,
+// must agree with the exact expectation.
+func TestShardedSampleMatchesExact(t *testing.T) {
+	g := graph.Complete(6)
+	e, err := exact.NewSequential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, tail := e.ExpectedDispersion(400)
+	if tail > 1e-9 {
+		t.Fatalf("exact computation truncated too early (tail mass %g)", tail)
+	}
+
+	const total = 6000
+	var sum float64
+	n := 0
+	for _, rg := range []struct{ first, trials int }{{0, 2000}, {2000, 2500}, {4500, 1500}} {
+		eng := dispersion.Engine{Seed: 11, Workers: 1 + rg.first%4}
+		err := eng.Run(context.Background(), dispersion.Job{
+			Process:    "sequential",
+			Graph:      g,
+			Trials:     rg.trials,
+			FirstTrial: rg.first,
+		}, func(tr dispersion.Trial) error {
+			sum += float64(tr.Result.Dispersion)
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != total {
+		t.Fatalf("sharded runs delivered %d trials, want %d", n, total)
+	}
+	got := sum / float64(n)
+	// The seed is fixed, so this is a deterministic check; the tolerance
+	// is a few standard errors of the Monte-Carlo mean.
+	if diff := math.Abs(got - mean); diff > 0.05*mean {
+		t.Fatalf("sharded sample mean %.4f vs exact %.4f (diff %.4f)", got, mean, diff)
+	}
+}

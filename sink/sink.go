@@ -2,10 +2,12 @@ package sink
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 
 	"dispersion"
@@ -62,26 +64,27 @@ func (s *JSONL) Write(t dispersion.Trial) error {
 
 // ReadJSONL reads back a JSONL stream written by a JSONL sink (or by the
 // dispersion server's results endpoint), returning the trials in file
-// order.
+// order. Lines have no size limit: records carrying full trajectories
+// (WithRecord) can grow arbitrarily large.
 func ReadJSONL(r io.Reader) ([]dispersion.Trial, error) {
 	var out []dispersion.Trial
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, rerr
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("sink: bad JSONL record %d: %w", len(out), err)
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var rec Record
+			if err := json.Unmarshal(trimmed, &rec); err != nil {
+				return nil, fmt.Errorf("sink: bad JSONL record %d: %w", len(out), err)
+			}
+			out = append(out, dispersion.Trial{Index: rec.Trial, Result: rec.Result})
 		}
-		out = append(out, dispersion.Trial{Index: rec.Trial, Result: rec.Result})
+		if rerr == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // csvColumns is the fixed CSV header; Row fields mirror it in order.
@@ -175,7 +178,7 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
-	if got, want := records[0], csvColumns; !equalStrings(got, want) {
+	if got, want := records[0], csvColumns; !slices.Equal(got, want) {
 		return nil, fmt.Errorf("sink: unexpected CSV header %q", got)
 	}
 	out := make([]Row, 0, len(records)-1)
@@ -187,18 +190,6 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 		out = append(out, row)
 	}
 	return out, nil
-}
-
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func parseRow(rec []string) (Row, error) {
