@@ -7,8 +7,10 @@
 package dispersion_test
 
 import (
+	"context"
 	"testing"
 
+	"dispersion"
 	"dispersion/internal/bench"
 	"dispersion/internal/block"
 	"dispersion/internal/core"
@@ -237,6 +239,109 @@ func BenchmarkStepMap(b *testing.B) {
 		v = ns[r.Intn(len(ns))]
 	}
 	_ = v
+}
+
+// --- Step-kernel ablations (kernel vs generic CSR dispatch) ---
+
+// benchStepKernel drives one walk through the given kernel; pairing each
+// family's selected kernel against the graph's GenericKernel isolates the
+// per-step win of closed-form/offsets-free dispatch.
+func benchStepKernel(b *testing.B, g *graph.Graph, k graph.Kernel) {
+	b.Helper()
+	r := rng.New(4)
+	v := int32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = k.Step(v, r)
+	}
+	_ = v
+}
+
+func BenchmarkStepKernelClique(b *testing.B) {
+	g := graph.Complete(512)
+	benchStepKernel(b, g, g.Kernel())
+}
+
+func BenchmarkStepGenericClique(b *testing.B) {
+	g := graph.Complete(512)
+	benchStepKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkStepKernelHypercube16(b *testing.B) {
+	g := graph.Hypercube(16)
+	benchStepKernel(b, g, g.Kernel())
+}
+
+func BenchmarkStepGenericHypercube16(b *testing.B) {
+	g := graph.Hypercube(16)
+	benchStepKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkStepKernelCycle(b *testing.B) {
+	g := graph.Cycle(1 << 16)
+	benchStepKernel(b, g, g.Kernel())
+}
+
+func BenchmarkStepGenericCycle(b *testing.B) {
+	g := graph.Cycle(1 << 16)
+	benchStepKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkStepKernelTorus3D(b *testing.B) {
+	g := graph.Grid([]int{8, 8, 8}, true)
+	benchStepKernel(b, g, g.Kernel())
+}
+
+func BenchmarkStepGenericTorus3D(b *testing.B) {
+	g := graph.Grid([]int{8, 8, 8}, true)
+	benchStepKernel(b, g, g.GenericKernel())
+}
+
+// --- Engine steady-state trial throughput (the zero-allocation hot path) ---
+
+// benchEngineTrials reports per-trial cost of the full public engine loop
+// — option resolution, per-worker scratch, kernel dispatch, result
+// recycling — with allocs/op expected to sit at ~0 in steady state (the
+// fixed per-run setup amortizes across b.N trials).
+func benchEngineTrials(b *testing.B, process, spec string) {
+	b.Helper()
+	eng := dispersion.Engine{Seed: 1, ReuseResults: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := eng.Run(context.Background(), dispersion.Job{
+		Process: process, Spec: spec, Trials: b.N,
+	}, func(dispersion.Trial) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineCliqueSeq(b *testing.B) {
+	benchEngineTrials(b, "sequential", "complete:512")
+}
+
+func BenchmarkEngineCliquePar(b *testing.B) {
+	benchEngineTrials(b, "parallel", "complete:512")
+}
+
+func BenchmarkEngineHypercubeSeq(b *testing.B) {
+	benchEngineTrials(b, "sequential", "hypercube:9")
+}
+
+func BenchmarkEngineHypercube16Seq(b *testing.B) {
+	benchEngineTrials(b, "sequential", "hypercube:16")
+}
+
+func BenchmarkEngineCycleSeq(b *testing.B) {
+	benchEngineTrials(b, "sequential", "cycle:128")
+}
+
+func BenchmarkEngineTorus3DSeq(b *testing.B) {
+	benchEngineTrials(b, "sequential", "torus:8x8x8")
+}
+
+func BenchmarkEngineCliqueCTU(b *testing.B) {
+	benchEngineTrials(b, "ct-uniform", "complete:256")
 }
 
 // BenchmarkCTUHeapVsRounds ablates the event-heap continuous-time engine

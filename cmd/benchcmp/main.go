@@ -1,0 +1,105 @@
+// Command benchcmp compares two benchjson reports (see cmd/benchjson) and
+// prints a per-benchmark table of old vs new ns/op with the speedup
+// factor, so CI logs show the repository's perf trajectory against the
+// committed BENCH_baseline.json on every run.
+//
+// Usage:
+//
+//	benchcmp OLD.json NEW.json
+//
+// Benchmarks present in only one report are listed as added/removed. The
+// comparison is informational — single-iteration CI sweeps are noisy and
+// the two reports may come from different machines — so the exit status
+// is 0 whenever both inputs parse.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the benchjson output document.
+type report struct {
+	// Benchmarks holds one parsed entry per benchmark result line.
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// entry is one benchmark's parsed result.
+type entry struct {
+	// Name is the benchmark name without the Benchmark prefix.
+	Name string `json:"name"`
+	// Metrics maps reported units (ns/op, allocs/op, ...) to values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	compare(os.Stdout, oldRep, newRep)
+}
+
+// load parses one benchjson report, indexing entries by name.
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+// compare prints the old-vs-new table plus added/removed benchmarks.
+func compare(w *os.File, oldRep, newRep map[string]entry) {
+	names := make([]string, 0, len(oldRep)+len(newRep))
+	seen := map[string]bool{}
+	for name := range oldRep {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range newRep {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-36s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	for _, name := range names {
+		o, inOld := oldRep[name]
+		n, inNew := newRep[name]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%-36s %14s %14.0f %8s\n", name, "-", n.Metrics["ns/op"], "added")
+		case !inNew:
+			fmt.Fprintf(w, "%-36s %14.0f %14s %8s\n", name, o.Metrics["ns/op"], "-", "removed")
+		default:
+			ons, nns := o.Metrics["ns/op"], n.Metrics["ns/op"]
+			speedup := "n/a"
+			if ons > 0 && nns > 0 {
+				speedup = fmt.Sprintf("%.2fx", ons/nns)
+			}
+			fmt.Fprintf(w, "%-36s %14.0f %14.0f %8s\n", name, ons, nns, speedup)
+		}
+	}
+}

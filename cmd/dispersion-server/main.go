@@ -45,6 +45,7 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", 2, "jobs running concurrently; further submissions queue")
 		engineWorkers = flag.Int("engine-workers", 0, "per-job engine workers (0 = one per core; never affects results)")
 		resultsDir    = flag.String("results-dir", "", "archive every job's trials as <dir>/<job>.jsonl (empty = off)")
+		evict         = flag.Bool("evict-consumed", false, "drop a job's in-memory results once it is terminal and its stream was fully consumed (re-reads answer 410)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		MaxConcurrent: *maxJobs,
 		EngineWorkers: *engineWorkers,
 		ResultsDir:    *resultsDir,
+		EvictConsumed: *evict,
 	})
 	srv := &http.Server{Addr: *addr, Handler: server.New(m)}
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"dispersion/graphspec"
+	"dispersion/internal/core"
 	"dispersion/internal/walk"
 )
 
@@ -26,6 +28,16 @@ type Engine struct {
 	// Workers caps the degree of parallelism; 0 means one per core. The
 	// setting affects scheduling only, never results.
 	Workers int
+	// ReuseResults recycles each delivered Result's backing memory for a
+	// later trial as soon as the callback returns, making steady-state
+	// trials of the built-in processes allocation-free. A callback must
+	// then treat the Trial's Result (and every slice it holds) as valid
+	// only for the duration of the call, copying anything it keeps.
+	// Sample and TotalSteps, which reduce each trial to a scalar, enable
+	// it automatically. The default (false) preserves the historical
+	// contract: every callback receives a freshly allocated Result it may
+	// retain forever. The setting never affects results, only memory.
+	ReuseResults bool
 }
 
 // Job describes one batch of trials: a process, a graph, and run options.
@@ -123,9 +135,17 @@ func (e Engine) Run(ctx context.Context, job Job, each func(Trial) error) error 
 	if e.Workers > 0 {
 		rn.SetWorkers(e.Workers)
 	}
+	if cp, ok := p.(*coreProcess); ok {
+		return e.runCore(ctx, rn, cp, g, job, each)
+	}
 	return walk.StreamFrom(ctx, rn, job.FirstTrial, job.Trials,
 		func(i int, r *Source) (*Result, error) {
-			return p.Run(g, job.Origin, r, job.Options...)
+			// External processes get a private copy of the trial source:
+			// the runner reseeds one worker-local generator per trial,
+			// and third-party Run implementations may legitimately have
+			// retained their *Source under the historical contract.
+			src := *r
+			return p.Run(g, job.Origin, &src, job.Options...)
 		},
 		func(i int, res *Result) error {
 			if each == nil {
@@ -135,10 +155,62 @@ func (e Engine) Run(ctx context.Context, job Job, each func(Trial) error) error 
 		})
 }
 
+// trialCell pairs one trial's internal result buffers with the public
+// Result view delivered to the callback, so ReuseResults can recycle both
+// together.
+type trialCell struct {
+	ct  core.CTResult
+	out Result
+}
+
+// runCore is the hot path for the built-in processes: options are
+// resolved once per job instead of once per trial, every worker carries a
+// reusable core.Scratch (epoch-stamped occupancy, position/priority
+// buffers, event heap), the per-trial RNG stream is reseeded into a
+// worker-local source, and — under ReuseResults — result cells cycle
+// through a pool. Steady-state trials of a non-Record job then allocate
+// nothing. The RNG draws are identical to the generic path's, so results
+// are bit-for-bit the same.
+func (e Engine) runCore(ctx context.Context, rn *walk.Runner, cp *coreProcess, g *Graph, job Job, each func(Trial) error) error {
+	opt := buildOptions(append(append([]Option(nil), cp.forced...), job.Options...))
+	var pool sync.Pool
+	getCell := func() *trialCell { return new(trialCell) }
+	if e.ReuseResults {
+		getCell = func() *trialCell {
+			if cell, ok := pool.Get().(*trialCell); ok {
+				return cell
+			}
+			return new(trialCell)
+		}
+	}
+	return walk.StreamState(ctx, rn, job.FirstTrial, job.Trials,
+		core.NewScratch,
+		func(i int, r *Source, s *core.Scratch) (*trialCell, error) {
+			cell := getCell()
+			if err := cp.runInto(g, job.Origin, opt, r, s, &cell.ct); err != nil {
+				return nil, err
+			}
+			cell.out.setCore(&cell.ct, cp.name, cp.continuous)
+			return cell, nil
+		},
+		func(i int, cell *trialCell) error {
+			var err error
+			if each != nil {
+				err = each(Trial{Index: i, Result: &cell.out})
+			}
+			if e.ReuseResults {
+				pool.Put(cell)
+			}
+			return err
+		})
+}
+
 // Sample runs the job and returns each trial's Makespan — the dispersion
 // time on the process's natural scale — in trial order. It is the common
-// reduction for statistics over many trials.
+// reduction for statistics over many trials. Sample reduces each trial to
+// one scalar, so it always runs with ReuseResults on.
 func (e Engine) Sample(ctx context.Context, job Job) ([]float64, error) {
+	e.ReuseResults = true
 	out := make([]float64, 0, max(job.Trials, 0))
 	err := e.Run(ctx, job, func(t Trial) error {
 		out = append(out, t.Result.Makespan())
@@ -152,8 +224,9 @@ func (e Engine) Sample(ctx context.Context, job Job) ([]float64, error) {
 
 // TotalSteps runs the job and returns each trial's total jump count in
 // trial order (Theorem 4.1's conserved quantity across the Sequential and
-// Parallel processes).
+// Parallel processes). Like Sample, it always runs with ReuseResults on.
 func (e Engine) TotalSteps(ctx context.Context, job Job) ([]float64, error) {
+	e.ReuseResults = true
 	out := make([]float64, 0, max(job.Trials, 0))
 	err := e.Run(ctx, job, func(t Trial) error {
 		out = append(out, float64(t.Result.TotalSteps))

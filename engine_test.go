@@ -172,3 +172,65 @@ func TestEngineNilCallback(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineReuseResultsEquivalence: recycling result cells must never
+// change what a callback observes trial by trial.
+func TestEngineReuseResultsEquivalence(t *testing.T) {
+	for _, process := range []string{"sequential", "uniform", "ct-uniform"} {
+		job := dispersion.Job{Process: process, Spec: "torus:6x6", Trials: 30}
+		sample := func(reuse bool) []float64 {
+			eng := dispersion.Engine{Seed: 8, Experiment: 2, ReuseResults: reuse}
+			var out []float64
+			err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+				// Reduce inside the callback: under reuse the Result must
+				// not be retained past the call.
+				out = append(out, tr.Result.Makespan(), float64(tr.Result.TotalSteps))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		if !reflect.DeepEqual(sample(false), sample(true)) {
+			t.Fatalf("%s: ReuseResults changed observed trial values", process)
+		}
+	}
+}
+
+// TestEngineSteadyStateZeroAllocs is the perf regression guard for the
+// zero-allocation hot path: a non-Record job on a registered process,
+// run with ReuseResults, must not allocate per trial in steady state.
+// It is backed by the same allocation accounting as -benchmem
+// (testing.BenchmarkResult.AllocsPerOp): the fixed per-run setup divides
+// across b.N trials and the quotient must round to zero.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs a long steady-state run")
+	}
+	if raceEnabled {
+		// The race detector makes sync.Pool drop items at random (to
+		// widen race coverage), so per-trial allocation counts are not
+		// meaningful under -race.
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	for _, process := range []string{"sequential", "parallel"} {
+		res := testing.Benchmark(func(b *testing.B) {
+			eng := dispersion.Engine{Seed: 1, ReuseResults: true, Workers: 2}
+			b.ReportAllocs()
+			err := eng.Run(context.Background(), dispersion.Job{
+				Process: process, Spec: "complete:64", Trials: b.N,
+			}, func(dispersion.Trial) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+		if res.N < 1000 {
+			t.Fatalf("%s: benchmark harness ran only %d trials; too few to amortize setup", process, res.N)
+		}
+		if allocs := res.AllocsPerOp(); allocs != 0 {
+			t.Errorf("%s: steady-state engine loop allocates %d allocs/op (%d B/op), want 0",
+				process, allocs, res.AllocedBytesPerOp())
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package dispersion_test
+
+// Property tests pinning the simulator's non-default option combinations
+// (WithLazy, WithParticles, WithRandomOrigins, and their combinations) to
+// internal/exact ground truth on small graphs. The exact package computes
+// fixed-origin quantities; the variants are derived from it:
+//
+//   - Lazy: a lazy chain's jump sequence has the law of the simple chain
+//     and each jump costs an independent Geometric(1/2) number of ticks
+//     (mean 2), so E[TotalSteps | lazy] = 2 · E[TotalSteps] exactly.
+//   - Particles k < n: the k-particle run walks exactly the occupied sets
+//     of sizes 1..k-1, so E[TotalSteps] truncates the subset DP at k
+//     settlements.
+//   - RandomOrigins: each particle starts uniformly; conditional on the
+//     occupied set S the walker's settlement law is the harmonic measure
+//     from its (uniform) start, giving a subset DP over per-origin exact
+//     solvers.
+//
+// The Monte-Carlo side runs through Engine.TotalSteps, which exercises
+// the kernel + scratch + result-recycling hot path end to end.
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"testing"
+
+	"dispersion"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+)
+
+// masksByPopcount returns all n-bit masks ordered by population count,
+// the traversal order of every occupied-set DP.
+func masksByPopcount(n int) []uint32 {
+	masks := make([]uint32, 0, 1<<n)
+	for c := 0; c <= n; c++ {
+		for m := uint32(0); m < 1<<n; m++ {
+			if bits.OnesCount32(m) == c {
+				masks = append(masks, m)
+			}
+		}
+	}
+	return masks
+}
+
+// exactTotalStepsParticles computes E[TotalSteps] of the Sequential
+// process with k particles from a fixed origin: the subset DP of
+// exact.Sequential.ExpectedTotalSteps truncated after k settlements.
+func exactTotalStepsParticles(t *testing.T, g *graph.Graph, origin, k int) float64 {
+	t.Helper()
+	e, err := exact.NewSequential(g, origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	prob := map[uint32]float64{1 << origin: 1}
+	var total float64
+	for _, s := range masksByPopcount(n) {
+		p, ok := prob[s]
+		if !ok || bits.OnesCount32(s) >= k {
+			continue
+		}
+		total += p * e.MeanAbsorptionTime(s)
+		hm := e.HarmonicMeasure(s)
+		for v := 0; v < n; v++ {
+			if hm[v] > 0 {
+				prob[s|1<<v] += p * hm[v]
+			}
+		}
+	}
+	return total
+}
+
+// exactTotalStepsRandomOrigins computes E[TotalSteps] of the Sequential
+// process with k particles whose starts are independent uniform vertices:
+// a subset DP over one exact solver per origin. A particle starting on a
+// vacant vertex settles there with zero steps; one starting on an
+// occupied vertex u walks with u's absorption law.
+func exactTotalStepsRandomOrigins(t *testing.T, g *graph.Graph, k int) float64 {
+	t.Helper()
+	n := g.N()
+	solvers := make([]*exact.Sequential, n)
+	for u := 0; u < n; u++ {
+		e, err := exact.NewSequential(g, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solvers[u] = e
+	}
+	// Particle 0 settles instantly at its uniform start.
+	prob := map[uint32]float64{}
+	for u := 0; u < n; u++ {
+		prob[1<<u] += 1.0 / float64(n)
+	}
+	var total float64
+	for _, s := range masksByPopcount(n) {
+		p, ok := prob[s]
+		if !ok || bits.OnesCount32(s) >= k {
+			continue
+		}
+		for u := 0; u < n; u++ {
+			if s&(1<<u) == 0 {
+				// Vacant start: instant settlement, zero steps.
+				prob[s|1<<u] += p / float64(n)
+				continue
+			}
+			total += p / float64(n) * solvers[u].MeanAbsorptionTime(s)
+			hm := solvers[u].HarmonicMeasure(s)
+			for v := 0; v < n; v++ {
+				if hm[v] > 0 {
+					prob[s|1<<v] += p / float64(n) * hm[v]
+				}
+			}
+		}
+	}
+	return total
+}
+
+// sampleTotalSteps runs the job through the engine and returns the sample
+// mean of TotalSteps plus the standard error of that mean.
+func sampleTotalSteps(t *testing.T, job dispersion.Job, seed uint64) (mean, stderr float64) {
+	t.Helper()
+	xs, err := dispersion.Engine{Seed: seed, Experiment: 17}.TotalSteps(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var varSum float64
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(varSum / float64(len(xs)-1) / float64(len(xs)))
+}
+
+// checkMean asserts the Monte-Carlo mean agrees with the exact value to
+// within six standard errors (deterministic given the fixed seed).
+func checkMean(t *testing.T, name string, got, stderr, want float64) {
+	t.Helper()
+	if diff := math.Abs(got - want); diff > 6*stderr+1e-9 {
+		t.Errorf("%s: sample mean %.4f vs exact %.4f (|diff| %.4f > 6·SE %.4f)",
+			name, got, want, diff, 6*stderr)
+	}
+}
+
+// propGraphs are the small ground-truth graphs: one vertex-transitive, one
+// not (the star's harmonic measures are strongly origin-dependent).
+func propGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete-5", graph.Complete(5)},
+		{"star-5", graph.Star(5)},
+	}
+}
+
+const propTrials = 6000
+
+func TestExactPropertyLazy(t *testing.T) {
+	for _, tc := range propGraphs() {
+		e, err := exact.NewSequential(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * e.ExpectedTotalSteps()
+		mean, se := sampleTotalSteps(t, dispersion.Job{
+			Process: "sequential", Graph: tc.g, Trials: propTrials,
+			Options: []dispersion.Option{dispersion.WithLazy()},
+		}, 101)
+		checkMean(t, tc.name+"/lazy", mean, se, want)
+
+		// The lazy-sequential registry variant must agree with the
+		// option-set form: same stream, same distribution.
+		meanVariant, seVariant := sampleTotalSteps(t, dispersion.Job{
+			Process: "lazy-sequential", Graph: tc.g, Trials: propTrials,
+		}, 101)
+		checkMean(t, tc.name+"/lazy-variant", meanVariant, seVariant, want)
+	}
+}
+
+func TestExactPropertyParticles(t *testing.T) {
+	for _, tc := range propGraphs() {
+		n := tc.g.N()
+		// Truncating the DP at k = n must reproduce the untruncated DP.
+		e, err := exact.NewSequential(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full, dp := e.ExpectedTotalSteps(), exactTotalStepsParticles(t, tc.g, 0, n); math.Abs(full-dp) > 1e-6 {
+			t.Fatalf("%s: truncated DP at k=n gives %.6f, want %.6f", tc.name, dp, full)
+		}
+		for _, k := range []int{2, n - 1} {
+			want := exactTotalStepsParticles(t, tc.g, 0, k)
+			mean, se := sampleTotalSteps(t, dispersion.Job{
+				Process: "sequential", Graph: tc.g, Trials: propTrials,
+				Options: []dispersion.Option{dispersion.WithParticles(k)},
+			}, 103)
+			checkMean(t, tc.name+"/particles", mean, se, want)
+		}
+	}
+}
+
+func TestExactPropertyRandomOrigins(t *testing.T) {
+	for _, tc := range propGraphs() {
+		want := exactTotalStepsRandomOrigins(t, tc.g, tc.g.N())
+		mean, se := sampleTotalSteps(t, dispersion.Job{
+			Process: "sequential", Graph: tc.g, Trials: propTrials,
+			Options: []dispersion.Option{dispersion.WithRandomOrigins()},
+		}, 107)
+		checkMean(t, tc.name+"/random-origins", mean, se, want)
+	}
+}
+
+// The combinations compose multiplicatively: lazy doubling applies on top
+// of the random-origins truncated DP.
+func TestExactPropertyCombined(t *testing.T) {
+	for _, tc := range propGraphs() {
+		k := tc.g.N() - 1
+		want := 2 * exactTotalStepsRandomOrigins(t, tc.g, k)
+		mean, se := sampleTotalSteps(t, dispersion.Job{
+			Process: "sequential", Graph: tc.g, Trials: propTrials,
+			Options: []dispersion.Option{
+				dispersion.WithLazy(),
+				dispersion.WithRandomOrigins(),
+				dispersion.WithParticles(k),
+			},
+		}, 109)
+		checkMean(t, tc.name+"/lazy+random-origins+particles", mean, se, want)
+	}
+}

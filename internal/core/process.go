@@ -7,11 +7,22 @@
 // maximum number of steps performed by any particle (equivalently, for the
 // parallel process, the first round at which every vertex hosts a
 // particle).
+//
+// Each process comes in two forms: a one-shot function (Sequential,
+// Parallel, ...) that allocates its own state, and an *Into variant
+// (SequentialInto, ...) that writes into a caller-owned Result and draws
+// its working buffers from a reusable per-worker Scratch — the
+// zero-allocation hot path the public engine drives. Both forms consume
+// the identical RNG stream, so they are interchangeable sample path for
+// sample path. Every walk step dispatches through the step Kernel the
+// graph selected at build time (closed-form for arithmetic families,
+// fused CSR otherwise), which is likewise draw-for-draw identical to the
+// generic CSR lookup.
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"dispersion/internal/graph"
 	"dispersion/internal/rng"
@@ -61,7 +72,7 @@ func (o Options) numParticles(n int) (int, error) {
 		k = n
 	}
 	if k < 1 || k > n {
-		return 0, fmt.Errorf("core: %d particles on %d vertices (want 1..n)", o.Particles, n)
+		return 0, fmt.Errorf("core: %d particles on %d vertices (want 1..n)", k, n)
 	}
 	return k, nil
 }
@@ -116,7 +127,10 @@ func (res *Result) Unsettled() int {
 	return n
 }
 
-func (res *Result) validateInputs(g *graph.Graph, origin int) error {
+// validateRun checks the (graph, origin) inputs shared by every process.
+// Connectivity is cached at graph build time, so the check is cheap enough
+// for the per-trial hot path.
+func validateRun(g *graph.Graph, origin int) error {
 	if origin < 0 || origin >= g.N() {
 		return fmt.Errorf("core: origin %d out of range [0,%d)", origin, g.N())
 	}
@@ -126,33 +140,77 @@ func (res *Result) validateInputs(g *graph.Graph, origin int) error {
 	return nil
 }
 
-// step advances one particle one move under the configured walk law.
-func step(g *graph.Graph, v int32, lazy bool, r *rng.Source) int32 {
+// step advances one particle one move under the configured walk law,
+// dispatching through the graph's step kernel.
+func step(kern graph.Kernel, v int32, lazy bool, r *rng.Source) int32 {
 	if lazy && r.Bool() {
 		return v
 	}
-	d := int32(g.Degree(int(v)))
-	if d == 1 {
-		return g.Neighbor(int(v), 0)
-	}
-	return g.Neighbor(int(v), r.Int31n(d))
+	return kern.Step(v, r)
 }
 
 // Sequential runs the Sequential-IDLA process on g from origin: particles
 // move one at a time, each walking until it settles, and only then does
 // the next particle start. Particle 0 settles at the origin instantly.
 func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := SequentialInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SequentialInto is Sequential writing into a caller-owned Result, drawing
+// its occupancy map from the given Scratch (nil allocates a transient
+// one). res is fully overwritten, reusing its backing arrays; the RNG
+// stream consumed is identical to Sequential's.
+func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res := newResult(k, opt.Record)
-	if err := res.validateInputs(g, origin); err != nil {
-		return nil, err
+	if err := validateRun(g, origin); err != nil {
+		return err
 	}
-	occupied := make([]bool, n)
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
 	rule := opt.Rule
+	// Hoist the occupancy stamps into locals: the scratch pointer escapes
+	// into the kernel call below, so indexing through s would reload the
+	// slice header and epoch on every iteration of the innermost loop.
+	occ, epoch := s.occ, s.epoch
+	if rule == nil && !opt.Record {
+		// Hot path: the entire settlement walk of each particle runs as
+		// one kernel call, so the per-step arithmetic (including the RNG)
+		// inlines into the kernel's concrete loop instead of paying an
+		// interface dispatch per step. Draw-for-draw identical to the
+		// general loop below.
+		for i := 0; i < k; i++ {
+			v := opt.startVertex(origin, n, r)
+			budget := int64(math.MaxInt64)
+			if opt.MaxSteps > 0 {
+				budget = opt.MaxSteps - res.TotalSteps
+			}
+			v, steps := kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			res.TotalSteps += steps
+			if steps >= budget {
+				// The MaxSteps guard fires mid-walk, exactly as the
+				// step-by-step loop would have: the particle does not
+				// settle even if its last move reached a vacant vertex.
+				res.Truncated = true
+				res.Steps[i] = steps
+				return nil
+			}
+			occ[v] = epoch
+			res.settle(i, v, steps, res.TotalSteps)
+		}
+		return nil
+	}
 	for i := 0; i < k; i++ {
 		v := opt.startVertex(origin, n, r)
 		var steps int64
@@ -163,8 +221,8 @@ func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result
 		// A particle standing on a vacant vertex settles instantly (this
 		// is how the first particle claims the origin); a settlement rule
 		// may veto it, exactly as ρ̃ does in Proposition A.1.
-		for occupied[v] || (rule != nil && !rule(v, steps)) {
-			v = step(g, v, opt.Lazy, r)
+		for occ[v] == epoch || (rule != nil && !rule(v, steps)) {
+			v = step(kern, v, opt.Lazy, r)
 			steps++
 			res.TotalSteps++
 			if opt.Record {
@@ -174,14 +232,14 @@ func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result
 				res.Truncated = true
 				res.Steps[i] = steps
 				res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
-				return res, nil
+				return nil
 			}
 		}
-		occupied[v] = true
+		occ[v] = epoch
 		res.settle(i, v, steps, res.TotalSteps)
 		res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
 	}
-	return res, nil
+	return nil
 }
 
 // Parallel runs the Parallel-IDLA process on g from origin: all n
@@ -191,27 +249,45 @@ func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result
 // highest-priority arriving particle settles. Priority is least index, or
 // a uniform permutation under Options.RandomPriority.
 func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := ParallelInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ParallelInto is Parallel writing into a caller-owned Result, drawing its
+// occupancy map and position/priority/active buffers from the given
+// Scratch (nil allocates a transient one). res is fully overwritten; the
+// RNG stream consumed is identical to Parallel's.
+func ParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res := newResult(k, opt.Record)
-	if err := res.validateInputs(g, origin); err != nil {
-		return nil, err
+	if err := validateRun(g, origin); err != nil {
+		return err
 	}
-	occupied := make([]bool, n)
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
 
 	// Priority order for settlement conflicts: least index, or a uniform
 	// permutation under RandomPriority.
-	prio := make([]int32, k)
+	s.prio = growI32(s.prio, k)
+	prio := s.prio
 	for i := range prio {
 		prio[i] = int32(i)
 	}
 	if opt.RandomPriority {
 		r.Shuffle(len(prio), func(i, j int) { prio[i], prio[j] = prio[j], prio[i] })
 	}
-	pos := make([]int32, k)
+	s.pos = growI32(s.pos, k)
+	pos := s.pos
 	for i := range pos {
 		pos[i] = opt.startVertex(origin, n, r)
 	}
@@ -224,10 +300,11 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 	// settles, one per vertex in priority order. With a common origin
 	// this is exactly "one of them instantaneously settles at the
 	// origin".
-	active := make([]int32, 0, k)
+	s.active = growI32(s.active, k)[:0]
+	active := s.active
 	for _, p := range prio {
-		if !occupied[pos[p]] {
-			occupied[pos[p]] = true
+		if !s.occupied(pos[p]) {
+			s.occupy(pos[p])
 			res.settle(int(p), pos[p], 0, 0)
 		} else {
 			active = append(active, p)
@@ -239,7 +316,7 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 		round++
 		// Every unsettled particle moves simultaneously.
 		for _, p := range active {
-			pos[p] = step(g, pos[p], opt.Lazy, r)
+			pos[p] = step(kern, pos[p], opt.Lazy, r)
 			res.Steps[p]++
 			res.TotalSteps++
 			if opt.Record {
@@ -249,8 +326,8 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 		// Settlement resolution in priority order: one settler per vertex.
 		keep := active[:0]
 		for _, p := range active {
-			if !occupied[pos[p]] {
-				occupied[pos[p]] = true
+			if !s.occupied(pos[p]) {
+				s.occupy(pos[p])
 				res.settle(int(p), pos[p], res.Steps[p], round)
 			} else {
 				keep = append(keep, p)
@@ -259,10 +336,10 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 		active = keep
 		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
 			res.Truncated = true
-			return res, nil
+			return nil
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // Uniform runs the (discrete) Uniform-IDLA of Section 4.2: at every tick a
@@ -273,17 +350,34 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 // changes only the clock, not any trajectory, and is recovered by the
 // continuous-time process below.
 func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := UniformInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// UniformInto is Uniform writing into a caller-owned Result, drawing its
+// occupancy map and position/active buffers from the given Scratch (nil
+// allocates a transient one). res is fully overwritten; the RNG stream
+// consumed is identical to Uniform's.
+func UniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res := newResult(k, opt.Record)
-	if err := res.validateInputs(g, origin); err != nil {
-		return nil, err
+	if err := validateRun(g, origin); err != nil {
+		return err
 	}
-	occupied := make([]bool, n)
-	pos := make([]int32, k)
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
+	s.pos = growI32(s.pos, k)
+	pos := s.pos
 	for i := range pos {
 		pos[i] = opt.startVertex(origin, n, r)
 	}
@@ -292,10 +386,11 @@ func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, e
 			res.Trajectories[i] = []int32{pos[i]}
 		}
 	}
-	active := make([]int32, 0, k)
+	s.active = growI32(s.active, k)[:0]
+	active := s.active
 	for i := 0; i < k; i++ {
-		if !occupied[pos[i]] {
-			occupied[pos[i]] = true
+		if !s.occupied(pos[i]) {
+			s.occupy(pos[i])
 			res.settle(i, pos[i], 0, 0)
 		} else {
 			active = append(active, int32(i))
@@ -306,40 +401,24 @@ func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, e
 		tick++
 		ai := r.Intn(len(active))
 		p := active[ai]
-		pos[p] = step(g, pos[p], opt.Lazy, r)
+		pos[p] = step(kern, pos[p], opt.Lazy, r)
 		res.Steps[p]++
 		res.TotalSteps++
 		if opt.Record {
 			res.Trajectories[p] = append(res.Trajectories[p], pos[p])
 		}
-		if !occupied[pos[p]] {
-			occupied[pos[p]] = true
+		if !s.occupied(pos[p]) {
+			s.occupy(pos[p])
 			res.settle(int(p), pos[p], res.Steps[p], tick)
 			active[ai] = active[len(active)-1]
 			active = active[:len(active)-1]
 		}
 		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
 			res.Truncated = true
-			return res, nil
+			return nil
 		}
 	}
-	return res, nil
-}
-
-func newResult(n int, record bool) *Result {
-	res := &Result{
-		Steps:       make([]int64, n),
-		SettledAt:   make([]int32, n),
-		SettleOrder: make([]int32, 0, n),
-		SettleClock: make([]int64, 0, n),
-	}
-	for i := range res.SettledAt {
-		res.SettledAt[i] = -1
-	}
-	if record {
-		res.Trajectories = make([][]int32, n)
-	}
-	return res
+	return nil
 }
 
 func (res *Result) settle(particle int, v int32, steps, clock int64) {
@@ -365,18 +444,50 @@ type event struct {
 	p int32
 }
 
+// eventHeap is a binary min-heap on event time with inlined sift
+// operations, so pushes and pops never box events through an interface —
+// the allocation container/heap would charge per re-ring.
 type eventHeap []event
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].t < h[j].t }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// push inserts e, restoring the heap order.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].t <= (*h)[i].t {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		next := left
+		if right := left + 1; right < last && s[right].t < s[left].t {
+			next = right
+		}
+		if s[i].t <= s[next].t {
+			break
+		}
+		s[i], s[next] = s[next], s[i]
+		i = next
+	}
+	return top
 }
 
 // CTResult augments Result with the real-valued clock of a continuous-time
@@ -396,17 +507,34 @@ type CTResult struct {
 // is simulated exactly with an event heap. Theorem 4.8: its dispersion
 // time is (1+o(1))·τ_par.
 func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
+	res := new(CTResult)
+	if err := CTUniformInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CTUniformInto is CTUniform writing into a caller-owned CTResult, drawing
+// its occupancy map, position buffer and event heap from the given Scratch
+// (nil allocates a transient one). res is fully overwritten; the RNG
+// stream consumed is identical to CTUniform's.
+func CTUniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res := &CTResult{Result: *newResult(k, opt.Record)}
-	if err := res.validateInputs(g, origin); err != nil {
-		return nil, err
+	if err := validateRun(g, origin); err != nil {
+		return err
 	}
-	occupied := make([]bool, n)
-	pos := make([]int32, k)
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
+	s.pos = growI32(s.pos, k)
+	pos := s.pos
 	for i := range pos {
 		pos[i] = opt.startVertex(origin, n, r)
 	}
@@ -415,43 +543,50 @@ func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResul
 			res.Trajectories[i] = []int32{pos[i]}
 		}
 	}
-	h := make(eventHeap, 0, k)
+	if cap(s.events) < k {
+		s.events = make(eventHeap, 0, k)
+	}
+	s.events = s.events[:0]
+	h := &s.events
 	remaining := 0
 	for i := 0; i < k; i++ {
-		if !occupied[pos[i]] {
-			occupied[pos[i]] = true
+		if !s.occupied(pos[i]) {
+			s.occupy(pos[i])
 			res.settle(i, pos[i], 0, 0)
 			res.SettleTimes = append(res.SettleTimes, 0)
 		} else {
-			h = append(h, event{t: r.ExpFloat64(), p: int32(i)})
+			// Initial rings arrive in index order, matching the heap
+			// initialisation of the historical implementation: appends
+			// followed by one restore pass consume no randomness, so a
+			// plain ordered push preserves the stream.
+			h.push(event{t: r.ExpFloat64(), p: int32(i)})
 			remaining++
 		}
 	}
-	heap.Init(&h)
 	for remaining > 0 {
-		e := heap.Pop(&h).(event)
+		e := h.pop()
 		p := e.p
-		pos[p] = step(g, pos[p], opt.Lazy, r)
+		pos[p] = step(kern, pos[p], opt.Lazy, r)
 		res.Steps[p]++
 		res.TotalSteps++
 		if opt.Record {
 			res.Trajectories[p] = append(res.Trajectories[p], pos[p])
 		}
-		if !occupied[pos[p]] {
-			occupied[pos[p]] = true
+		if !s.occupied(pos[p]) {
+			s.occupy(pos[p])
 			res.settle(int(p), pos[p], res.Steps[p], int64(len(res.SettleOrder)))
 			res.SettleTimes = append(res.SettleTimes, e.t)
 			res.Time = e.t
 			remaining--
 		} else {
-			heap.Push(&h, event{t: e.t + r.ExpFloat64(), p: p})
+			h.push(event{t: e.t + r.ExpFloat64(), p: p})
 		}
 		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
 			res.Truncated = true
-			return res, nil
+			return nil
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // CTSequential runs the continuous-time Sequential IDLA: the discrete
@@ -459,15 +594,29 @@ func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResul
 // jumps of each walk. Its dispersion time is the largest total walking
 // time over particles; Section 4.3 shows it equals (1+o(1))·τ_seq.
 func CTSequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
-	disc, err := Sequential(g, origin, opt, r)
-	if err != nil {
+	res := new(CTResult)
+	if err := CTSequentialInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
 	}
-	res := &CTResult{Result: *disc}
-	res.SettleTimes = make([]float64, 0, g.N())
-	for _, p := range disc.SettleOrder {
+	return res, nil
+}
+
+// CTSequentialInto is CTSequential writing into a caller-owned CTResult
+// through the given Scratch (nil allocates a transient one). res is fully
+// overwritten; the RNG stream consumed is identical to CTSequential's.
+func CTSequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
+	if err := SequentialInto(g, origin, opt, r, s, &res.Result); err != nil {
+		return err
+	}
+	res.Time = 0
+	if cap(res.SettleTimes) < len(res.SettleOrder) {
+		res.SettleTimes = make([]float64, 0, len(res.SettleOrder))
+	} else {
+		res.SettleTimes = res.SettleTimes[:0]
+	}
+	for _, p := range res.SettleOrder {
 		var walkTime float64
-		for s := int64(0); s < disc.Steps[p]; s++ {
+		for st := int64(0); st < res.Steps[p]; st++ {
 			walkTime += r.ExpFloat64()
 		}
 		res.SettleTimes = append(res.SettleTimes, walkTime)
@@ -475,5 +624,5 @@ func CTSequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTRe
 			res.Time = walkTime
 		}
 	}
-	return res, nil
+	return nil
 }

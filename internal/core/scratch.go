@@ -1,0 +1,110 @@
+package core
+
+// Scratch holds the reusable per-worker state of the trial hot path: the
+// epoch-stamped occupancy map and the position/priority/active/event
+// buffers every process needs. A worker allocates one Scratch and threads
+// it through millions of *Into runs; steady-state trials then allocate
+// nothing. A Scratch is not safe for concurrent use, and it adapts
+// automatically when consecutive runs use graphs of different sizes.
+type Scratch struct {
+	// epoch stamps the current run: vertex v is occupied iff
+	// occ[v] == epoch, so starting a new run is one increment instead of
+	// an O(n) clear. Byte-wide stamps keep the occupancy footprint
+	// identical to the []bool they replace (the occupied check is the
+	// second-hottest memory access after the adjacency itself), at the
+	// price of one real clear every 255 runs when the epoch wraps.
+	epoch uint8
+	occ   []uint8
+
+	pos    []int32
+	active []int32
+	prio   []int32
+	events eventHeap
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// beginRun prepares the occupancy map for a run on n vertices: everything
+// starts unoccupied.
+func (s *Scratch) beginRun(n int) {
+	if cap(s.occ) < n {
+		s.occ = make([]uint8, n)
+		s.epoch = 0
+	}
+	s.occ = s.occ[:n]
+	s.epoch++
+	if s.epoch == 0 {
+		// Epoch wrapped: stale stamps could collide, so pay one clear.
+		// Clearing the full capacity (not just this run's prefix) keeps
+		// the invariant that every stamp in the buffer is <= epoch even
+		// when runs alternate between graph sizes.
+		clear(s.occ[:cap(s.occ)])
+		s.epoch = 1
+	}
+}
+
+// occupied reports whether vertex v hosts a settled particle this run.
+func (s *Scratch) occupied(v int32) bool { return s.occ[v] == s.epoch }
+
+// occupy marks vertex v as hosting a settled particle.
+func (s *Scratch) occupy(v int32) { s.occ[v] = s.epoch }
+
+// growI32 returns a length-n slice reusing buf's backing array when it is
+// large enough.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growI64 is growI32 for int64 buffers.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// reset prepares res for a fresh run of k particles, reusing every backing
+// array the previous occupant of this Result left behind.
+func (res *Result) reset(k int, record bool) {
+	res.Dispersion = 0
+	res.TotalSteps = 0
+	res.Truncated = false
+	res.Steps = growI64(res.Steps, k)
+	for i := range res.Steps {
+		res.Steps[i] = 0
+	}
+	res.SettledAt = growI32(res.SettledAt, k)
+	for i := range res.SettledAt {
+		res.SettledAt[i] = -1
+	}
+	if cap(res.SettleOrder) < k {
+		res.SettleOrder = make([]int32, 0, k)
+	} else {
+		res.SettleOrder = res.SettleOrder[:0]
+	}
+	if cap(res.SettleClock) < k {
+		res.SettleClock = make([]int64, 0, k)
+	} else {
+		res.SettleClock = res.SettleClock[:0]
+	}
+	if record {
+		res.Trajectories = make([][]int32, k)
+	} else {
+		res.Trajectories = nil
+	}
+}
+
+// reset prepares a continuous-time result for a fresh run of k particles.
+func (res *CTResult) reset(k int, record bool) {
+	res.Result.reset(k, record)
+	res.Time = 0
+	if cap(res.SettleTimes) < k {
+		res.SettleTimes = make([]float64, 0, k)
+	} else {
+		res.SettleTimes = res.SettleTimes[:0]
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"dispersion/internal/graph"
@@ -35,8 +37,15 @@ func TestKParticlesSettleExactlyK(t *testing.T) {
 func TestKParticlesRejectsBadCounts(t *testing.T) {
 	g := graph.Path(8)
 	for _, k := range []int{-1, 9, 100} {
-		if _, err := Sequential(g, 0, Options{Particles: k}, rng.New(1)); err == nil {
+		_, err := Sequential(g, 0, Options{Particles: k}, rng.New(1))
+		if err == nil {
 			t.Errorf("Particles=%d accepted", k)
+			continue
+		}
+		// The message must report the resolved particle count, not the
+		// raw option value (they differ once defaulting applies).
+		if want := fmt.Sprintf("core: %d particles", k); !strings.Contains(err.Error(), want) {
+			t.Errorf("Particles=%d error %q does not report the resolved count", k, err)
 		}
 	}
 }

@@ -21,6 +21,11 @@ type Graph struct {
 	name    string
 	offsets []int32
 	adj     []int32
+	// kernel is the step engine selected for this adjacency at Build time
+	// (see Kernel); connected caches the one-time BFS connectivity check
+	// so per-trial input validation never re-traverses the graph.
+	kernel    Kernel
+	connected bool
 }
 
 // N returns the number of vertices.
@@ -166,6 +171,8 @@ func (b *Builder) Build() (*Graph, error) {
 			}
 		}
 	}
+	g.connected = bfsConnected(g)
+	g.kernel = detectKernel(g)
 	return g, nil
 }
 
@@ -203,8 +210,13 @@ func (g *Graph) BFS(src int) []int32 {
 	return dist
 }
 
-// IsConnected reports whether the graph is connected.
-func (g *Graph) IsConnected() bool {
+// IsConnected reports whether the graph is connected. The answer is
+// computed once at Build time, so the call is free in per-trial input
+// validation.
+func (g *Graph) IsConnected() bool { return g.connected }
+
+// bfsConnected is the one-time Build-side connectivity traversal.
+func bfsConnected(g *Graph) bool {
 	if g.N() == 0 {
 		return false
 	}

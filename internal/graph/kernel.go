@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"math/bits"
+
+	"dispersion/internal/rng"
+)
+
+// Kernel is a graph's specialized single-step engine: Step(v, r) returns a
+// uniformly random neighbour of v, drawn exactly as the generic CSR walk
+// draws it — the same RNG calls in the same order, mapping the drawn index
+// i to the i-th neighbour of v in sorted CSR order. Swapping kernels
+// therefore never changes a simulation's sample path, only its speed.
+//
+// Every Graph selects its kernel once at Build time: closed-form kernels
+// for the families whose neighbour structure is pure arithmetic (complete
+// graphs, cycles, paths, hypercubes — no memory touched per step), an
+// offsets-free kernel for fixed-degree regular graphs (one adjacency load
+// per step), and a fused CSR kernel for everything else (one row-slice
+// fetch instead of separate Degree and Neighbor lookups).
+type Kernel interface {
+	// Step returns a uniformly random neighbour of v. Vertices of degree
+	// one move without consuming randomness (matching the generic walk);
+	// every other vertex consumes exactly one bounded draw.
+	Step(v int32, r *rng.Source) int32
+	// WalkUntilVacant runs the IDLA settlement walk entirely inside the
+	// kernel: starting from v, it repeatedly Steps (drawing a leading
+	// coin per move when lazy is set) while the current vertex is
+	// occupied, i.e. while occ[v] == epoch. It returns the final vertex
+	// and the number of steps performed. The walk also returns as soon as
+	// steps reaches budget, whatever the final vertex's occupancy — the
+	// caller treats that as a truncated run. Keeping the whole loop
+	// behind one interface call (instead of one call per step) lets each
+	// concrete kernel inline its arithmetic and the RNG into the hottest
+	// loop of the repository; the draws consumed are exactly those of the
+	// equivalent Step loop.
+	WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64)
+	// Kind names the kernel family for introspection and tests: one of
+	// "complete", "cycle", "path", "hypercube", "regular", "csr".
+	Kind() string
+}
+
+// Kernel returns the step kernel selected for this graph at Build time.
+// Hot loops should hoist it out of the loop body.
+func (g *Graph) Kernel() Kernel { return g.kernel }
+
+// GenericKernel returns the fused CSR kernel for this graph regardless of
+// the kernel Build selected, as the reference implementation for
+// kernel-equivalence tests and kernel-vs-generic benchmarks.
+func (g *Graph) GenericKernel() Kernel { return csrKernel{g} }
+
+// detectKernel picks the fastest kernel whose closed form provably matches
+// the graph's sorted CSR adjacency. Detection verifies the full neighbour
+// structure (not just the family name), so relabelled or hand-built copies
+// of a family qualify exactly when their adjacency does.
+func detectKernel(g *Graph) Kernel {
+	n := g.N()
+	if n >= 2 && matchesClosedForm(g, completeKernel{n: int32(n)}) {
+		return completeKernel{n: int32(n)}
+	}
+	if n >= 3 && matchesClosedForm(g, cycleKernel{n: int32(n)}) {
+		return cycleKernel{n: int32(n)}
+	}
+	if n >= 2 && matchesClosedForm(g, pathKernel{n: int32(n)}) {
+		return pathKernel{n: int32(n)}
+	}
+	if k := bits.TrailingZeros(uint(n)); n >= 2 && n == 1<<k && 4*len(g.adj) >= hypercubeClosedFormMinBytes {
+		hk := hypercubeKernel{k: int32(k)}
+		if matchesClosedForm(g, hk) {
+			return hk
+		}
+	}
+	if d := g.MaxDegree(); d >= 1 && g.IsRegular() {
+		return regularKernel{adj: g.adj, deg: int32(d)}
+	}
+	return csrKernel{g}
+}
+
+// hypercubeClosedFormMinBytes gates the hypercube closed form on the CSR
+// adjacency footprint. The kernel's bit-select loop costs more than an
+// L1/L2-resident adjacency load (measured ~19ns vs ~8ns on Q_9), but far
+// less than the cache misses of a multi-megabyte adjacency (~22ns vs
+// ~46ns on Q_16), so small hypercubes take the offsets-free regular
+// kernel instead and only cache-hostile ones go arithmetic. Complete
+// graphs and cycles need no such gate: their closed forms beat the fused
+// CSR load at every size.
+const hypercubeClosedFormMinBytes = 1 << 20
+
+// closedForm is the verification face of an arithmetic kernel: nth(v, i)
+// is its claimed i-th sorted neighbour of v and degree(v) its claimed
+// degree, checked against the real CSR lists before the kernel is adopted.
+type closedForm interface {
+	Kernel
+	nth(v, i int32) int32
+	degree(v int32) int32
+}
+
+// matchesClosedForm reports whether the kernel's arithmetic reproduces the
+// graph's sorted adjacency exactly, vertex by vertex and index by index.
+func matchesClosedForm(g *Graph, k closedForm) bool {
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		if int32(len(ns)) != k.degree(int32(v)) {
+			return false
+		}
+		for i, u := range ns {
+			if u != k.nth(int32(v), int32(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// csrKernel is the fused generic kernel: one row-slice fetch per step in
+// place of the historical Degree-then-Neighbor pair of bounds-checked CSR
+// lookups.
+type csrKernel struct{ g *Graph }
+
+// Kind returns "csr".
+func (csrKernel) Kind() string { return "csr" }
+
+// Step returns a uniformly random CSR neighbour of v.
+func (k csrKernel) Step(v int32, r *rng.Source) int32 {
+	ns := k.g.adj[k.g.offsets[v]:k.g.offsets[v+1]]
+	if len(ns) == 1 {
+		return ns[0]
+	}
+	return ns[r.Int31n(int32(len(ns)))]
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+//
+// Every kernel repeats this identical loop body rather than sharing one
+// generic helper: the k.Step call on the concrete receiver is a direct,
+// inlinable call, which is the whole point of hoisting the loop behind a
+// single interface dispatch.
+func (k csrKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+// regularKernel serves fixed-degree regular graphs: row v starts at v*deg,
+// so a step needs one adjacency load and no offsets lookup at all.
+type regularKernel struct {
+	adj []int32
+	deg int32
+}
+
+// Kind returns "regular".
+func (regularKernel) Kind() string { return "regular" }
+
+// Step returns a uniformly random neighbour via the dense row layout.
+func (k regularKernel) Step(v int32, r *rng.Source) int32 {
+	if k.deg == 1 {
+		return k.adj[v]
+	}
+	return k.adj[v*k.deg+r.Int31n(k.deg)]
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+func (k regularKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+// completeKernel is the closed-form kernel for K_n: the i-th sorted
+// neighbour of v is i when i < v and i+1 otherwise, so a step is a draw
+// and a compare — no memory touched.
+type completeKernel struct{ n int32 }
+
+// Kind returns "complete".
+func (completeKernel) Kind() string { return "complete" }
+
+// Step returns a uniformly random neighbour of v in K_n.
+func (k completeKernel) Step(v int32, r *rng.Source) int32 {
+	if k.n == 2 {
+		return 1 - v
+	}
+	return k.nth(v, r.Int31n(k.n-1))
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+func (k completeKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+func (k completeKernel) nth(v, i int32) int32 {
+	if i < v {
+		return i
+	}
+	return i + 1
+}
+
+func (k completeKernel) degree(int32) int32 { return k.n - 1 }
+
+// cycleKernel is the closed-form kernel for the canonical cycle C_n
+// (vertex v adjacent to v±1 mod n).
+type cycleKernel struct{ n int32 }
+
+// Kind returns "cycle".
+func (cycleKernel) Kind() string { return "cycle" }
+
+// Step returns a uniformly random cycle neighbour of v.
+func (k cycleKernel) Step(v int32, r *rng.Source) int32 {
+	return k.nth(v, r.Int31n(2))
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+func (k cycleKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+func (k cycleKernel) nth(v, i int32) int32 {
+	switch v {
+	case 0:
+		if i == 0 {
+			return 1
+		}
+		return k.n - 1
+	case k.n - 1:
+		if i == 0 {
+			return 0
+		}
+		return k.n - 2
+	default:
+		return v - 1 + 2*i
+	}
+}
+
+func (cycleKernel) degree(int32) int32 { return 2 }
+
+// pathKernel is the closed-form kernel for the canonical path P_n (vertex
+// v adjacent to v±1). Endpoints have degree one and move without a draw.
+type pathKernel struct{ n int32 }
+
+// Kind returns "path".
+func (pathKernel) Kind() string { return "path" }
+
+// Step returns a uniformly random path neighbour of v.
+func (k pathKernel) Step(v int32, r *rng.Source) int32 {
+	switch v {
+	case 0:
+		return 1
+	case k.n - 1:
+		return k.n - 2
+	default:
+		return v - 1 + 2*r.Int31n(2)
+	}
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+func (k pathKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+func (k pathKernel) nth(v, i int32) int32 {
+	switch v {
+	case 0:
+		return 1
+	case k.n - 1:
+		return k.n - 2
+	default:
+		return v - 1 + 2*i
+	}
+}
+
+func (k pathKernel) degree(v int32) int32 {
+	if v == 0 || v == k.n-1 {
+		return 1
+	}
+	return 2
+}
+
+// hypercubeKernel is the closed-form kernel for the canonical hypercube
+// Q_k (u ~ v iff u xor v is a power of two). The sorted neighbour list of
+// v is: v - 2^d over the set bits d of v in descending bit order, then
+// v + 2^d over the clear bits in ascending order — selected with pure
+// register arithmetic, no memory touched.
+type hypercubeKernel struct{ k int32 }
+
+// Kind returns "hypercube".
+func (hypercubeKernel) Kind() string { return "hypercube" }
+
+// Step returns a uniformly random hypercube neighbour of v.
+func (k hypercubeKernel) Step(v int32, r *rng.Source) int32 {
+	if k.k == 1 {
+		return v ^ 1
+	}
+	return k.nth(v, r.Int31n(k.k))
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget).
+func (k hypercubeKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+func (k hypercubeKernel) nth(v, i int32) int32 {
+	s := int32(bits.OnesCount32(uint32(v)))
+	if i < s {
+		// The (i+1)-th highest set bit of v: clear the top bit i times.
+		x := uint32(v)
+		for ; i > 0; i-- {
+			x &^= 1 << (bits.Len32(x) - 1)
+		}
+		return v ^ int32(1<<(bits.Len32(x)-1))
+	}
+	// The (i-s+1)-th lowest clear bit among the k dimensions.
+	y := ^uint32(v) & (1<<uint32(k.k) - 1)
+	for i -= s; i > 0; i-- {
+		y &= y - 1
+	}
+	return v ^ int32(y&-y)
+}
+
+func (k hypercubeKernel) degree(int32) int32 { return k.k }

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"testing"
+
+	"dispersion/internal/rng"
+)
+
+// benchKernel drives steps through the Kernel interface, the dispatch the
+// processes use.
+func benchKernel(b *testing.B, g *Graph, k Kernel) {
+	b.Helper()
+	r := rng.New(1)
+	v := int32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = k.Step(v, r)
+	}
+	_ = v
+}
+
+func BenchmarkKernelComplete4096(b *testing.B) {
+	benchKernel(b, Complete(4096), Complete(4096).Kernel())
+}
+func BenchmarkGenericComplete4096(b *testing.B) {
+	g := Complete(4096)
+	benchKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkKernelHypercube9(b *testing.B) { g := Hypercube(9); benchKernel(b, g, g.Kernel()) }
+func BenchmarkGenericHypercube9(b *testing.B) {
+	g := Hypercube(9)
+	benchKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkKernelHypercube16(b *testing.B) { g := Hypercube(16); benchKernel(b, g, g.Kernel()) }
+func BenchmarkGenericHypercube16(b *testing.B) {
+	g := Hypercube(16)
+	benchKernel(b, g, g.GenericKernel())
+}
+
+func BenchmarkKernelTorus3D(b *testing.B) {
+	g := Grid([]int{8, 8, 8}, true)
+	benchKernel(b, g, g.Kernel())
+}
+func BenchmarkGenericTorus3D(b *testing.B) {
+	g := Grid([]int{8, 8, 8}, true)
+	benchKernel(b, g, g.GenericKernel())
+}
+
+// Direct concrete-type calls, bypassing the interface: measures how much
+// of a kernel's cost is dispatch.
+func BenchmarkDirectHypercube9(b *testing.B) {
+	k := hypercubeKernel{k: 9}
+	r := rng.New(1)
+	v := int32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = k.Step(v, r)
+	}
+	_ = v
+}
+
+func BenchmarkDirectRegularTorus3D(b *testing.B) {
+	g := Grid([]int{8, 8, 8}, true)
+	k := g.Kernel().(regularKernel)
+	r := rng.New(1)
+	v := int32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = k.Step(v, r)
+	}
+	_ = v
+}
+
+func BenchmarkKernelCycle1024(b *testing.B)  { g := Cycle(1024); benchKernel(b, g, g.Kernel()) }
+func BenchmarkGenericCycle1024(b *testing.B) { g := Cycle(1024); benchKernel(b, g, g.GenericKernel()) }
+
+func BenchmarkKernelComplete64(b *testing.B) { g := Complete(64); benchKernel(b, g, g.Kernel()) }
+func BenchmarkGenericComplete64(b *testing.B) {
+	g := Complete(64)
+	benchKernel(b, g, g.GenericKernel())
+}

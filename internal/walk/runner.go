@@ -55,8 +55,10 @@ type streamed[T any] struct {
 // Unlike Run, Stream does not materialize all results: workers may run at
 // most a small window ahead of the delivery cursor, so memory stays
 // bounded no matter how many trials are requested. fn must be safe to
-// call concurrently with distinct sources; each is always called from a
-// single goroutine.
+// call concurrently with distinct sources, and r is valid only for the
+// duration of the call — each worker reseeds one local generator per
+// trial, so a retained pointer would be overwritten by the worker's next
+// trial. each is always called from a single goroutine.
 //
 // The first error — from ctx, fn, or each — stops the stream and is
 // returned; trials past the failure point may never run. Once every
@@ -73,9 +75,34 @@ func Stream[T any](ctx context.Context, rn *Runner, trials int,
 // draws the split stream Split(experimentID, i), so the results of an
 // offset range are bit-identical to the corresponding slice of one
 // contiguous [0, n) stream — this is what lets trial ranges shard
-// across jobs and machines. first must be non-negative.
+// across jobs and machines. first must be non-negative. As with Stream,
+// fn must not retain r past the call.
 func StreamFrom[T any](ctx context.Context, rn *Runner, first, trials int,
 	fn func(trial int, r *rng.Source) (T, error),
+	each func(trial int, v T) error) error {
+	return StreamState(ctx, rn, first, trials,
+		func() struct{} { return struct{}{} },
+		func(trial int, r *rng.Source, _ struct{}) (T, error) { return fn(trial, r) },
+		each)
+}
+
+// StreamState is StreamFrom with per-worker scratch state: newState runs
+// once inside each worker goroutine and its value is handed to every fn
+// call that worker makes. It is the hook through which the engine threads
+// a reusable per-worker Scratch (occupancy stamps, position buffers, event
+// heaps) so steady-state trials allocate nothing; any worker-affine
+// resource (arena, profiler, connection) threads the same way.
+//
+// The per-trial randomness is unchanged: trial i's source is reseeded from
+// the split stream (experimentID, i) — bit-identical to the Source that
+// Split would return, but written into a worker-local generator so the hot
+// path performs no per-trial allocation.
+//
+// fn must not retain r or the state value past the call for types shared
+// across calls; each trial is always called from a single goroutine.
+func StreamState[T, S any](ctx context.Context, rn *Runner, first, trials int,
+	newState func() S,
+	fn func(trial int, r *rng.Source, state S) (T, error),
 	each func(trial int, v T) error) error {
 	if trials <= 0 {
 		return nil
@@ -107,6 +134,8 @@ func StreamFrom[T any](ctx context.Context, rn *Runner, first, trials int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
+			var src rng.Source
 			for {
 				select {
 				case <-ctx.Done():
@@ -120,7 +149,8 @@ func StreamFrom[T any](ctx context.Context, rn *Runner, first, trials int,
 				if i >= end {
 					return
 				}
-				v, err := fn(i, rn.root.Split(rn.experimentID, uint64(i)))
+				rn.root.SplitInto(&src, rn.experimentID, uint64(i))
+				v, err := fn(i, &src, state)
 				results <- streamed[T]{trial: i, v: v, err: err}
 				if err != nil {
 					cancel()

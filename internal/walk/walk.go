@@ -10,13 +10,13 @@ import (
 )
 
 // Step advances a simple random walk one step from v: a uniformly random
-// neighbour of v. It is the hot inner loop of every simulation.
+// neighbour of v. It is the hot inner loop of every simulation and
+// dispatches through the step kernel the graph selected at Build time
+// (closed-form for arithmetic families, fused CSR otherwise); the draws
+// consumed are bit-identical to the historical Degree+Neighbor lookup.
+// Loops stepping many times should hoist g.Kernel() and call it directly.
 func Step(g *graph.Graph, v int32, r *rng.Source) int32 {
-	d := int32(g.Degree(int(v)))
-	if d == 1 {
-		return g.Neighbor(int(v), 0)
-	}
-	return g.Neighbor(int(v), r.Int31n(d))
+	return g.Kernel().Step(v, r)
 }
 
 // LazyStep advances a lazy random walk one step: with probability 1/2 the
@@ -32,11 +32,12 @@ func LazyStep(g *graph.Graph, v int32, r *rng.Source) int32 {
 // the given number of steps, including the start (so the result has
 // steps+1 entries).
 func Trajectory(g *graph.Graph, start int, steps int, r *rng.Source) []int32 {
+	kern := g.Kernel()
 	traj := make([]int32, steps+1)
 	traj[0] = int32(start)
 	v := int32(start)
 	for i := 1; i <= steps; i++ {
-		v = Step(g, v, r)
+		v = kern.Step(v, r)
 		traj[i] = v
 	}
 	return traj
@@ -46,13 +47,14 @@ func Trajectory(g *graph.Graph, start int, steps int, r *rng.Source) []int32 {
 // target, returning the number of steps taken. maxSteps caps runaway
 // walks; on expiry it returns maxSteps and false.
 func HitTime(g *graph.Graph, start, target int, maxSteps int64, r *rng.Source) (int64, bool) {
+	kern := g.Kernel()
 	v := int32(start)
 	var t int64
 	for v != int32(target) {
 		if t >= maxSteps {
 			return maxSteps, false
 		}
-		v = Step(g, v, r)
+		v = kern.Step(v, r)
 		t++
 	}
 	return t, true
@@ -61,13 +63,14 @@ func HitTime(g *graph.Graph, start, target int, maxSteps int64, r *rng.Source) (
 // HitSetTime runs a simple random walk from start until it first reaches
 // any vertex with inSet true.
 func HitSetTime(g *graph.Graph, start int, inSet []bool, maxSteps int64, r *rng.Source) (int64, bool) {
+	kern := g.Kernel()
 	v := int32(start)
 	var t int64
 	for !inSet[v] {
 		if t >= maxSteps {
 			return maxSteps, false
 		}
-		v = Step(g, v, r)
+		v = kern.Step(v, r)
 		t++
 	}
 	return t, true
@@ -76,6 +79,7 @@ func HitSetTime(g *graph.Graph, start int, inSet []bool, maxSteps int64, r *rng.
 // CoverTime runs a simple random walk from start until every vertex has
 // been visited, returning the number of steps. maxSteps caps the walk.
 func CoverTime(g *graph.Graph, start int, maxSteps int64, r *rng.Source) (int64, bool) {
+	kern := g.Kernel()
 	visited := make([]bool, g.N())
 	visited[start] = true
 	remaining := g.N() - 1
@@ -85,7 +89,7 @@ func CoverTime(g *graph.Graph, start int, maxSteps int64, r *rng.Source) (int64,
 		if t >= maxSteps {
 			return maxSteps, false
 		}
-		v = Step(g, v, r)
+		v = kern.Step(v, r)
 		t++
 		if !visited[v] {
 			visited[v] = true
@@ -102,6 +106,7 @@ func CoverTime(g *graph.Graph, start int, maxSteps int64, r *rng.Source) (int64,
 // walks here never settle, so their trajectory lengths are all equal —
 // none of the dispersion process's correlations arise.
 func MultiCoverTime(g *graph.Graph, start, k int, maxRounds int64, r *rng.Source) (int64, bool) {
+	kern := g.Kernel()
 	visited := make([]bool, g.N())
 	visited[start] = true
 	remaining := g.N() - 1
@@ -116,7 +121,7 @@ func MultiCoverTime(g *graph.Graph, start, k int, maxRounds int64, r *rng.Source
 		}
 		t++
 		for i := range pos {
-			pos[i] = Step(g, pos[i], r)
+			pos[i] = kern.Step(pos[i], r)
 			if !visited[pos[i]] {
 				visited[pos[i]] = true
 				remaining--

@@ -21,6 +21,7 @@ type Process interface {
 	Continuous() bool
 	// Run executes one realization on g from origin, drawing randomness
 	// from r. It must be deterministic given (g, origin, r state, opts).
+	// The engine hands every trial a source it may retain.
 	Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error)
 }
 
@@ -64,14 +65,17 @@ func Processes() []string {
 	return append([]string(nil), canonical...)
 }
 
-// coreProcess adapts one internal process function to the Process
+// coreProcess adapts one internal *Into process function to the Process
 // interface. forced options (e.g. laziness for the lazy variants) are
-// applied before the caller's options.
+// applied before the caller's options. The single runInto entry point
+// serves both the one-shot Run below and the engine's zero-allocation
+// hot path, which threads a per-worker Scratch and a recycled result cell
+// through it.
 type coreProcess struct {
 	name       string
 	continuous bool
 	forced     []Option
-	run        func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error)
+	runInto    func(g *Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error
 }
 
 func (p *coreProcess) Name() string     { return p.name }
@@ -79,33 +83,21 @@ func (p *coreProcess) Continuous() bool { return p.continuous }
 
 func (p *coreProcess) Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error) {
 	opt := buildOptions(append(append([]Option(nil), p.forced...), opts...))
-	res, err := p.run(g, origin, opt, r)
-	if err != nil {
+	var ct core.CTResult
+	if err := p.runInto(g, origin, opt, r, nil, &ct); err != nil {
 		return nil, err
 	}
-	res.Process = p.name
+	res := new(Result)
+	res.setCore(&ct, p.name, p.continuous)
 	return res, nil
 }
 
-// discrete adapts a discrete-time internal process.
-func discrete(f func(*Graph, int, core.Options, *Source) (*core.Result, error)) func(*Graph, int, core.Options, *Source) (*Result, error) {
-	return func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error) {
-		res, err := f(g, origin, opt, r)
-		if err != nil {
-			return nil, err
-		}
-		return newResult(res), nil
-	}
-}
-
-// continuousTime adapts a continuous-time internal process.
-func continuousTime(f func(*Graph, int, core.Options, *Source) (*core.CTResult, error)) func(*Graph, int, core.Options, *Source) (*Result, error) {
-	return func(g *Graph, origin int, opt core.Options, r *Source) (*Result, error) {
-		res, err := f(g, origin, opt, r)
-		if err != nil {
-			return nil, err
-		}
-		return newCTResult(res), nil
+// discreteInto adapts a discrete-time internal process to the shared
+// continuous-time result layout (the clock fields stay untouched and are
+// masked off by setCore).
+func discreteInto(f func(*Graph, int, core.Options, *Source, *core.Scratch, *core.Result) error) func(*Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error {
+	return func(g *Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error {
+		return f(g, origin, opt, r, s, &ct.Result)
 	}
 }
 
@@ -114,19 +106,19 @@ func init() {
 		name       string
 		aliases    []string
 		continuous bool
-		run        func(*Graph, int, core.Options, *Source) (*Result, error)
+		runInto    func(*Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error
 	}{
-		{"sequential", []string{"seq"}, false, discrete(core.Sequential)},
-		{"parallel", []string{"par"}, false, discrete(core.Parallel)},
-		{"uniform", []string{"unif"}, false, discrete(core.Uniform)},
-		{"ct-uniform", []string{"ctu"}, true, continuousTime(core.CTUniform)},
-		{"ct-sequential", []string{"ctseq"}, true, continuousTime(core.CTSequential)},
+		{"sequential", []string{"seq"}, false, discreteInto(core.SequentialInto)},
+		{"parallel", []string{"par"}, false, discreteInto(core.ParallelInto)},
+		{"uniform", []string{"unif"}, false, discreteInto(core.UniformInto)},
+		{"ct-uniform", []string{"ctu"}, true, core.CTUniformInto},
+		{"ct-sequential", []string{"ctseq"}, true, core.CTSequentialInto},
 	}
 	for _, v := range variants {
 		Register(&coreProcess{
 			name:       v.name,
 			continuous: v.continuous,
-			run:        v.run,
+			runInto:    v.runInto,
 		}, v.aliases...)
 		// The lazy variants of Theorem 4.3: the same process with the
 		// laziness option forced on.
@@ -138,7 +130,7 @@ func init() {
 			name:       "lazy-" + v.name,
 			continuous: v.continuous,
 			forced:     []Option{WithLazy()},
-			run:        v.run,
+			runInto:    v.runInto,
 		}, lazyAliases...)
 	}
 }

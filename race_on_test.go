@@ -1,0 +1,8 @@
+//go:build race
+
+package dispersion_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool intentionally drops items and
+// allocation accounting is not meaningful.
+const raceEnabled = true

@@ -50,29 +50,30 @@ type Result struct {
 	SettleTimes []float64
 }
 
-// newResult wraps an internal discrete result. The slices are shared, not
-// copied: internal runs hand over ownership. The Process name is stamped
-// by the registry wrapper that ran it.
-func newResult(res *core.Result) *Result {
-	return &Result{
-		Dispersion:   res.Dispersion,
-		TotalSteps:   res.TotalSteps,
-		Steps:        res.Steps,
-		SettledAt:    res.SettledAt,
-		SettleOrder:  res.SettleOrder,
-		SettleClock:  res.SettleClock,
-		Trajectories: res.Trajectories,
-		Truncated:    res.Truncated,
+// setCore points res at an internal result's buffers (slice headers are
+// copied, backing arrays shared — internal runs hand over ownership for
+// the one-shot API, or lend it until recycling under Engine.ReuseResults)
+// and stamps the process identity. Discrete processes leave the
+// continuous-time clock fields of ct untouched, so they are masked off
+// here rather than trusted.
+func (res *Result) setCore(ct *core.CTResult, process string, continuous bool) {
+	res.Process = process
+	res.Continuous = continuous
+	res.Dispersion = ct.Dispersion
+	res.TotalSteps = ct.TotalSteps
+	res.Steps = ct.Steps
+	res.SettledAt = ct.SettledAt
+	res.SettleOrder = ct.SettleOrder
+	res.SettleClock = ct.SettleClock
+	res.Trajectories = ct.Trajectories
+	res.Truncated = ct.Truncated
+	if continuous {
+		res.Time = ct.Time
+		res.SettleTimes = ct.SettleTimes
+	} else {
+		res.Time = 0
+		res.SettleTimes = nil
 	}
-}
-
-// newCTResult wraps an internal continuous-time result.
-func newCTResult(res *core.CTResult) *Result {
-	out := newResult(&res.Result)
-	out.Continuous = true
-	out.Time = res.Time
-	out.SettleTimes = res.SettleTimes
-	return out
 }
 
 // core reconstructs the internal view of the result for delegation. The

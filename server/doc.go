@@ -35,8 +35,12 @@
 // the split stream (seed, experiment, i), so disjoint-range jobs
 // composed by dispersion/shard reproduce one contiguous run exactly.
 //
-// Completed results are kept in memory for the lifetime of the job (they
-// are what makes ?from= resumption and late consumers possible), so a
-// job's memory footprint is proportional to Trials times the per-Result
-// size; use the JSONL persistence directory for archival beyond that.
+// Completed results are kept in memory for the lifetime of the job by
+// default (they are what makes ?from= resumption and late consumers
+// possible), so a job's memory footprint is proportional to Trials times
+// the per-Result size; use the JSONL persistence directory for archival
+// beyond that. Long-lived servers can instead bound memory with
+// ManagerOptions.EvictConsumed, which drops a job's buffer once it is
+// terminal and its stream has been consumed through the final trial —
+// re-reads of an evicted range then answer 410 Gone.
 package server

@@ -139,6 +139,10 @@ const TrailerJobState = "X-Job-State"
 //
 // When the stream ends because the job reached a terminal state, that
 // state is exposed as the TrailerJobState HTTP trailer.
+//
+// On a manager with EvictConsumed set, a fully consumed terminal job's
+// buffer is dropped; re-reading lines below Completed then answers
+// 410 Gone instead of silently serving an empty stream.
 func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -153,11 +157,19 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 		}
 		from = v
 	}
-	// The request echo is immutable after submit; one snapshot serves
-	// both reads.
-	jobReq := j.Status().Request
+	// Registering the stream as a consumer defers buffer eviction
+	// (ManagerOptions.EvictConsumed) until this request has finished.
+	j.Retain()
+	defer j.Release()
+	st := j.Status()
+	jobReq := st.Request
 	if from > jobReq.Trials {
 		fail(w, http.StatusBadRequest, "from=%d beyond the job's %d trials", from, jobReq.Trials)
+		return
+	}
+	if st.Evicted && from < st.Completed {
+		fail(w, http.StatusGone,
+			"results evicted after full consumption; resubmit the job (or read the archive) to recover trials")
 		return
 	}
 	first := jobReq.FirstTrial
@@ -166,18 +178,29 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	out := sink.NewJSONL(w)
+	// Only lines whose Write completed count as consumed for the
+	// eviction policy, so a connection cut mid-line leaves that trial
+	// unconsumed for the reconnect. A successful Write is still not a
+	// delivery ack — bytes can die in socket buffers after the final
+	// line, in which case the reconnect finds the range evicted (410)
+	// and recovers by resubmitting the job, losslessly, since trial
+	// results are pure functions of the request.
+	delivered := from
 	for i := from; ; i++ {
 		res, ok := j.Next(r.Context(), i)
 		if !ok {
 			break
 		}
 		if err := out.Write(dispersion.Trial{Index: first + i, Result: res}); err != nil {
+			j.MarkConsumed(from, delivered)
 			return
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		delivered = i + 1
 	}
+	j.MarkConsumed(from, delivered)
 	// Next returns false either because the job is terminal or because
 	// the client went away; only a terminal state ends the stream
 	// authoritatively, and only then is the trailer sent.

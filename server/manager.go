@@ -133,8 +133,18 @@ type Status struct {
 	// Request echoes the accepted submission.
 	Request JobRequest `json:"request"`
 	// Completed is the number of trials finished so far; results with
-	// index < Completed are available from the results endpoint.
+	// index < Completed are available from the results endpoint (unless
+	// the buffer has been evicted, see Evicted).
 	Completed int `json:"completed"`
+	// Resident is the number of results currently buffered in memory. It
+	// equals Completed until the buffer is evicted, after which it is 0.
+	Resident int `json:"resident"`
+	// Evicted reports that the in-memory result buffer was released after
+	// the job reached a terminal state and its stream was fully consumed
+	// (ManagerOptions.EvictConsumed). Further result reads below
+	// Completed answer 410 Gone; a configured ResultsDir archive still
+	// holds every trial.
+	Evicted bool `json:"evicted,omitempty"`
 	// Error is the failure message for StateFailed jobs.
 	Error string `json:"error,omitempty"`
 	// SubmittedAt, StartedAt and FinishedAt track the lifecycle; the
@@ -150,10 +160,15 @@ type Job struct {
 	id     string
 	req    JobRequest
 	cancel context.CancelFunc
+	evict  bool // ManagerOptions.EvictConsumed, frozen at submit
 
 	mu        sync.Mutex
 	notify    chan struct{} // closed and replaced on every append / state change
 	results   []*dispersion.Result
+	count     int // trials completed, surviving buffer eviction
+	consumed  int // high-water mark of results delivered via Next
+	retained  int // active results consumers (Retain/Release)
+	evicted   bool
 	state     State
 	errMsg    string
 	submitted time.Time
@@ -172,7 +187,9 @@ func (j *Job) Status() Status {
 		ID:          j.id,
 		State:       j.state,
 		Request:     j.req,
-		Completed:   len(j.results),
+		Completed:   j.count,
+		Resident:    len(j.results),
+		Evicted:     j.evicted,
 		Error:       j.errMsg,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
@@ -195,7 +212,54 @@ func (j *Job) append(res *dispersion.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.results = append(j.results, res)
+	j.count++
 	j.broadcast()
+}
+
+// Retain registers an active results consumer (a streaming request).
+// While any consumer is retained the buffer is never evicted, so a stream
+// that began before the job finished can always run to its end. Pair
+// every Retain with exactly one Release.
+func (j *Job) Retain() {
+	j.mu.Lock()
+	j.retained++
+	j.mu.Unlock()
+}
+
+// Release ends a Retain registration and applies the eviction policy: on
+// a manager with EvictConsumed set, once the job is terminal, its stream
+// has been consumed through the final result (see MarkConsumed), and no
+// consumer remains registered, the in-memory buffer is dropped.
+func (j *Job) Release() {
+	j.mu.Lock()
+	j.retained--
+	j.maybeEvictLocked()
+	j.mu.Unlock()
+}
+
+// MarkConsumed records that a consumer successfully delivered every
+// result line in [from, to) to its client. Consumption is tracked as a
+// contiguous prefix: a range starting at or below the current mark
+// extends it, while a range that would leave an undelivered gap below is
+// ignored — so a reader that only ever streamed ?from=5 never lets
+// results 0..4 be evicted. Callers must mark only lines whose writes
+// completed; fetching a result with Next does not count as consumption.
+func (j *Job) MarkConsumed(from, to int) {
+	j.mu.Lock()
+	if from <= j.consumed && to > j.consumed {
+		j.consumed = to
+	}
+	j.maybeEvictLocked()
+	j.mu.Unlock()
+}
+
+// maybeEvictLocked drops the result buffer when the eviction conditions
+// hold. Callers must hold j.mu.
+func (j *Job) maybeEvictLocked() {
+	if j.evict && !j.evicted && j.retained == 0 && j.state.Terminal() && j.consumed == j.count {
+		j.results = nil
+		j.evicted = true
+	}
 }
 
 // setState moves the job to a new lifecycle state, stamping the
@@ -213,14 +277,21 @@ func (j *Job) setState(s State, errMsg string) {
 		j.started = time.Now()
 	case s.Terminal():
 		j.finished = time.Now()
+		// A consumer may already have drained every result while the job
+		// was still running; the terminal transition is then the moment
+		// the buffer becomes evictable.
+		j.maybeEvictLocked()
 	}
 	j.broadcast()
 }
 
 // Next blocks until trial i's result is available and returns it, or
 // returns false once the job is terminal with fewer than i+1 results (or
-// ctx is done). Results arrive in index order, so callers stream by
-// calling Next with i = from, from+1, from+2, ...
+// ctx is done, or the buffer was evicted). Results arrive in index order,
+// so callers stream by calling Next with i = from, from+1, from+2, ...
+// Fetching a result does not mark it consumed for the EvictConsumed
+// policy — a streaming frontend reports successful deliveries with
+// MarkConsumed, so a write that fails mid-line never counts.
 func (j *Job) Next(ctx context.Context, i int) (*dispersion.Result, bool) {
 	for {
 		j.mu.Lock()
@@ -229,7 +300,7 @@ func (j *Job) Next(ctx context.Context, i int) (*dispersion.Result, bool) {
 			j.mu.Unlock()
 			return res, true
 		}
-		terminal := j.state.Terminal()
+		terminal := j.state.Terminal() || j.evicted
 		wait := j.notify
 		j.mu.Unlock()
 		if terminal {
@@ -275,6 +346,15 @@ type ManagerOptions struct {
 	// trials to <ResultsDir>/<job id>.jsonl through a dispersion/sink
 	// JSONL writer as they complete.
 	ResultsDir string
+	// EvictConsumed bounds the memory of long-lived servers: once a job
+	// is terminal, its results stream has been consumed through the final
+	// trial, and no stream is still attached, the job's in-memory result
+	// buffer is dropped. Status metadata (including Completed) survives;
+	// re-reading an evicted range answers 410 Gone, and a ResultsDir
+	// archive, if configured, still holds every trial. Off by default:
+	// the historical contract keeps results for the job's lifetime so
+	// completed streams can be re-read at will.
+	EvictConsumed bool
 }
 
 // ErrClosed is returned by Submit once Close has begun; the HTTP layer
@@ -333,6 +413,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	j := &Job{
 		req:       req,
 		cancel:    cancel,
+		evict:     m.opts.EvictConsumed,
 		notify:    make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),

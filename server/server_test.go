@@ -578,3 +578,179 @@ func TestRuntimeFailure(t *testing.T) {
 		t.Errorf("failed job streamed %d records", len(lines))
 	}
 }
+
+// Manager-level eviction contract: with EvictConsumed, the in-memory
+// buffer is dropped exactly when the job is terminal, fully consumed, and
+// no consumer is still retained — and not a moment earlier.
+func TestManagerEvictConsumed(t *testing.T) {
+	_, m := newServer(t, server.ManagerOptions{EvictConsumed: true})
+	j, err := m.Submit(server.JobRequest{
+		Process: "sequential", Spec: "complete:16", Trials: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Two consumers attach; the first drains the stream to its end.
+	j.Retain()
+	j.Release() // a consumer that reads nothing must not block eviction later
+	j.Retain()
+	second := j
+	second.Retain()
+	delivered := 0
+	for i := 0; ; i++ {
+		if _, ok := j.Next(ctx, i); !ok {
+			break
+		}
+		delivered = i + 1
+	}
+	j.MarkConsumed(0, delivered)
+	st := j.Wait(ctx)
+	if st.State != server.StateDone || st.Completed != 6 {
+		t.Fatalf("job finished as %s with %d completed, want done/6", st.State, st.Completed)
+	}
+
+	// Terminal + consumed, but two consumers still retained: no eviction.
+	if st := j.Status(); st.Evicted || st.Resident != 6 {
+		t.Fatalf("evicted with consumers attached: evicted=%v resident=%d", st.Evicted, st.Resident)
+	}
+	j.Release()
+	if st := j.Status(); st.Evicted {
+		t.Fatal("evicted while one consumer still attached")
+	}
+	second.Release()
+	st = j.Status()
+	if !st.Evicted || st.Resident != 0 {
+		t.Fatalf("after last release: evicted=%v resident=%d, want true/0", st.Evicted, st.Resident)
+	}
+	// Status metadata survives the buffer.
+	if st.Completed != 6 || st.State != server.StateDone {
+		t.Fatalf("eviction corrupted status: %+v", st)
+	}
+	// The evicted buffer serves no further results.
+	if _, ok := j.Next(ctx, 0); ok {
+		t.Fatal("Next returned a result from an evicted buffer")
+	}
+}
+
+// A partially consumed stream never triggers eviction: kill/resume flows
+// (the shard coordinator) rely on the tail staying resident.
+func TestManagerEvictRequiresFullConsumption(t *testing.T) {
+	_, m := newServer(t, server.ManagerOptions{EvictConsumed: true})
+	j, err := m.Submit(server.JobRequest{
+		Process: "sequential", Spec: "complete:16", Trials: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j.Retain()
+	for i := 0; i < 3; i++ {
+		if _, ok := j.Next(ctx, i); !ok {
+			t.Fatalf("result %d unavailable", i)
+		}
+	}
+	j.MarkConsumed(0, 3)
+	j.Wait(ctx)
+	j.Release()
+	if st := j.Status(); st.Evicted || st.Resident != 6 {
+		t.Fatalf("partially consumed job evicted: evicted=%v resident=%d", st.Evicted, st.Resident)
+	}
+	// A delivery range that leaves a gap below the contiguous mark must
+	// not count (a reader that skipped lines 3..4 proves nothing about
+	// them).
+	j.MarkConsumed(5, 6)
+	if st := j.Status(); st.Evicted {
+		t.Fatal("gap-leaving consumption evicted the buffer")
+	}
+	// Fetching results without marking them delivered must not evict
+	// either (a mid-write connection cut fetches but never delivers).
+	j.Retain()
+	for i := 3; i < 6; i++ {
+		if _, ok := j.Next(ctx, i); !ok {
+			t.Fatalf("result %d unavailable after resume", i)
+		}
+	}
+	j.Release()
+	if st := j.Status(); st.Evicted {
+		t.Fatal("unmarked Next fetches evicted the buffer")
+	}
+	// Draining the remainder (a resumed stream) completes consumption.
+	j.Retain()
+	j.MarkConsumed(3, 6)
+	j.Release()
+	if st := j.Status(); !st.Evicted {
+		t.Fatal("fully consumed job not evicted after resumed drain")
+	}
+}
+
+// HTTP-level eviction: after a full stream read on an evicting manager,
+// re-reading the range answers 410 Gone, reading from the end still
+// answers an empty 200 stream with the terminal trailer, and the status
+// endpoint reports the eviction.
+func TestHTTPEvictConsumed(t *testing.T) {
+	ts, _ := newServer(t, server.ManagerOptions{EvictConsumed: true})
+	req := server.JobRequest{Process: "parallel", Spec: "torus:6x6", Trials: 5, Seed: 3}
+	st := submit(t, ts, req)
+	want := direct(t, req)
+	if got := stream(t, ts, st.ID, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed NDJSON diverged from direct Engine.Run before eviction")
+	}
+
+	// The completed read triggered eviction (poll briefly: the handler's
+	// Release runs after the response body is finished).
+	deadline := time.Now().Add(5 * time.Second)
+	var final server.Status
+	for {
+		final = getStatus(t, ts, st.ID)
+		if final.Evicted || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !final.Evicted || final.Resident != 0 || final.Completed != req.Trials {
+		t.Fatalf("status after consumption = %+v, want evicted with completed=%d", final, req.Trials)
+	}
+
+	// Evicted range: 410.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/results?from=0", ts.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("re-read of evicted results: status %d, want 410", resp.StatusCode)
+	}
+
+	// Reading from the end is still a valid empty stream with trailer.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/results?from=%d", ts.URL, st.ID, req.Trials))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("tail read: status %d body %q, want empty 200", resp.StatusCode, body)
+	}
+	if tr := resp.Trailer.Get(server.TrailerJobState); tr != string(server.StateDone) {
+		t.Fatalf("tail read trailer = %q, want done", tr)
+	}
+}
+
+// Without EvictConsumed nothing changes: full streams stay re-readable
+// and the status never reports eviction (the historical contract).
+func TestNoEvictionByDefault(t *testing.T) {
+	ts, _ := newServer(t, server.ManagerOptions{})
+	req := server.JobRequest{Process: "sequential", Spec: "complete:12", Trials: 4, Seed: 2}
+	st := submit(t, ts, req)
+	first := stream(t, ts, st.ID, 0)
+	second := stream(t, ts, st.ID, 0)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("re-read diverged without eviction")
+	}
+	if fin := getStatus(t, ts, st.ID); fin.Evicted || fin.Resident != req.Trials {
+		t.Fatalf("default manager evicted: %+v", fin)
+	}
+}
