@@ -344,6 +344,29 @@ func BenchmarkEngineCliqueCTU(b *testing.B) {
 	benchEngineTrials(b, "ct-uniform", "complete:256")
 }
 
+// --- Variant-workload engine throughput (the PR-5 registered processes,
+// sharing the same zero-allocation hot path) ---
+
+func BenchmarkEngineCliqueGeom(b *testing.B) {
+	benchEngineTrials(b, "sequential-geom", "complete:512")
+}
+
+func BenchmarkEngineCliqueThreshold(b *testing.B) {
+	benchEngineTrials(b, "sequential-threshold", "complete:512")
+}
+
+func BenchmarkEngineCliqueCapacity(b *testing.B) {
+	benchEngineTrials(b, "capacity", "complete:512")
+}
+
+func BenchmarkEngineCliqueCapacityPar(b *testing.B) {
+	benchEngineTrials(b, "capacity-parallel", "complete:512")
+}
+
+func BenchmarkEngineTorus3DCapacity(b *testing.B) {
+	benchEngineTrials(b, "capacity", "torus:8x8x8")
+}
+
 // BenchmarkCTUHeapVsRounds ablates the event-heap continuous-time engine
 // against a Poissonised round-based approximation (each round, every
 // unsettled particle moves Poisson(1) times in index order).

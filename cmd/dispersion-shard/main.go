@@ -48,7 +48,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSONL write-ahead result log; rerunning resumes from it")
 		retries    = flag.Int("retries", 0, "consecutive no-progress attempts before a shard gives up (0 = 5)")
 
-		process    = flag.String("process", "seq", "process: seq|par|unif|ctu|ctseq (or a lazy- prefix)")
+		process = flag.String("process", "seq",
+			"process: seq|par|unif|ctu|ctseq|geom|thresh|cap|cap-par (or a lazy- prefix)")
 		graphSpec  = flag.String("graph", "complete:128", "graph family spec (see dispersion/graphspec)")
 		origin     = flag.Int("origin", 0, "origin vertex")
 		trials     = flag.Int("trials", 1000, "number of independent trials")
@@ -62,6 +63,9 @@ func main() {
 		randomOrigins  = flag.Bool("random-origins", false, "sample each particle's origin uniformly")
 		maxSteps       = flag.Int64("max-steps", 0, "truncate runs past this many total steps (0 = unbounded)")
 		randomPriority = flag.Bool("random-priority", false, "random priority permutation for parallel conflicts")
+		settleParam    = flag.Float64("settle-param", 0,
+			"settle-rule parameter: geom's settle probability, thresh's minimum steps (0 = process default)")
+		capacity = flag.Int("capacity", 0, "per-vertex capacity of the capacity processes (0 = default 2)")
 
 		jsonlPath = flag.String("jsonl", "", `write merged per-trial records as JSONL to this file ("-" = stdout)`)
 	)
@@ -97,6 +101,8 @@ func main() {
 			RandomOrigins:  *randomOrigins,
 			MaxSteps:       *maxSteps,
 			RandomPriority: *randomPriority,
+			SettleParam:    *settleParam,
+			Capacity:       *capacity,
 		},
 	}
 

@@ -7,6 +7,8 @@
 //	dispersion -graph complete:256 -process par -trials 200 -seed 1
 //	dispersion -graph torus:16x16 -process seq -origin 0 -lazy
 //	dispersion -graph regular:512,4 -process ctu -trials 100
+//	dispersion -graph torus:16x16 -process cap -capacity 4 -trials 200
+//	dispersion -graph hair:96 -process thresh -settle-param 1500 -trials 50
 //	dispersion -graph complete:256 -trials 1000 -csv trials.csv -jsonl trials.jsonl
 //
 // Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
@@ -30,11 +32,18 @@ import (
 func main() {
 	var (
 		graphSpec = flag.String("graph", "complete:128", "graph family spec (see package doc)")
-		process   = flag.String("process", "seq", "process: seq|par|unif|ctu|ctseq (or a lazy- prefix)")
-		origin    = flag.Int("origin", 0, "origin vertex")
-		trials    = flag.Int("trials", 100, "number of independent trials")
-		seed      = flag.Uint64("seed", 1, "random seed (reproducible)")
-		lazy      = flag.Bool("lazy", false, "use lazy random walks")
+		process   = flag.String("process", "seq",
+			"process: seq|par|unif|ctu|ctseq|geom|thresh|cap|cap-par (or a lazy- prefix)")
+		origin        = flag.Int("origin", 0, "origin vertex")
+		trials        = flag.Int("trials", 100, "number of independent trials")
+		seed          = flag.Uint64("seed", 1, "random seed (reproducible)")
+		lazy          = flag.Bool("lazy", false, "use lazy random walks")
+		particles     = flag.Int("particles", 0, "disperse k particles instead of the default (0 = default)")
+		randomOrigins = flag.Bool("random-origins", false, "sample each particle's origin uniformly")
+		settleParam   = flag.Float64("settle-param", 0,
+			"settle-rule parameter: geom's settle probability, thresh's minimum steps (0 = process default)")
+		capacity = flag.Int("capacity", 0,
+			"per-vertex capacity of the capacity processes (0 = default 2)")
 		csvPath   = flag.String("csv", "", "write per-trial scalar rows as CSV to this file")
 		jsonlPath = flag.String("jsonl", "", "write full per-trial results as JSONL to this file")
 		quiet     = flag.Bool("q", false, "print only the mean dispersion time")
@@ -52,6 +61,18 @@ func main() {
 	var opts []dispersion.Option
 	if *lazy {
 		opts = append(opts, dispersion.WithLazy())
+	}
+	if *particles > 0 {
+		opts = append(opts, dispersion.WithParticles(*particles))
+	}
+	if *randomOrigins {
+		opts = append(opts, dispersion.WithRandomOrigins())
+	}
+	if *settleParam != 0 {
+		opts = append(opts, dispersion.WithSettleParam(*settleParam))
+	}
+	if *capacity != 0 {
+		opts = append(opts, dispersion.WithCapacity(*capacity))
 	}
 
 	// The run streams every trial through one callback: makespan

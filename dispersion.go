@@ -7,10 +7,13 @@
 //   - a Process interface with a string-keyed registry covering the
 //     paper's five process variants (Sequential-, Parallel- and
 //     Uniform-IDLA plus the continuous-time Uniform and Sequential
-//     processes) and their lazy variants;
+//     processes), the Proposition A.1 settle-rule variants
+//     (sequential-geom, sequential-threshold), the capacity-c
+//     load-balancing processes (capacity, capacity-parallel), and the
+//     lazy variant of each;
 //   - functional options (WithLazy, WithParticles, WithRandomOrigins,
-//     WithRecord, WithSettleRule, WithMaxSteps, WithRandomPriority)
-//     configuring a run;
+//     WithRecord, WithSettleRule, WithSettleParam, WithCapacity,
+//     WithMaxSteps, WithRandomPriority) configuring a run;
 //   - a single merged Result type covering both the discrete and the
 //     continuous-time processes;
 //   - an Engine that composes graph-spec parsing (package

@@ -33,7 +33,10 @@ func collect(t *testing.T, eng dispersion.Engine, job dispersion.Job) []*dispers
 // TestEngineWorkerCountInvariance is the headline determinism contract:
 // the same seed returns identical Results for 1 worker and N workers.
 func TestEngineWorkerCountInvariance(t *testing.T) {
-	for _, process := range []string{"sequential", "parallel", "ct-uniform"} {
+	for _, process := range []string{
+		"sequential", "parallel", "ct-uniform",
+		"sequential-geom", "sequential-threshold", "capacity", "capacity-parallel",
+	} {
 		t.Run(process, func(t *testing.T) {
 			job := dispersion.Job{
 				Process: process,
@@ -214,7 +217,10 @@ func TestEngineSteadyStateZeroAllocs(t *testing.T) {
 		// meaningful under -race.
 		t.Skip("allocation accounting is not meaningful under the race detector")
 	}
-	for _, process := range []string{"sequential", "parallel"} {
+	for _, process := range []string{
+		"sequential", "parallel",
+		"sequential-geom", "sequential-threshold", "capacity", "capacity-parallel",
+	} {
 		res := testing.Benchmark(func(b *testing.B) {
 			eng := dispersion.Engine{Seed: 1, ReuseResults: true, Workers: 2}
 			b.ReportAllocs()

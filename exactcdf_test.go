@@ -1,0 +1,176 @@
+package dispersion_test
+
+// Exact dispersion-CDF comparisons for the variant options — the PR-4
+// follow-up: not just expectations but the full makespan CDFs from
+// internal/exact, checked against empirical CDFs produced by the engine
+// hot path. Every comparison is deterministic under its fixed seed; the
+// sup-norm tolerance is far outside the DKW band for the sample size
+// (P(sup|F̂-F| > 0.04) < 1e-6 at N = 6000), so a failure means a real
+// distributional bug, not noise.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dispersion"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+)
+
+// cdfTrials is the Monte-Carlo sample size per CDF comparison.
+const cdfTrials = 6000
+
+// cdfTol is the allowed sup-norm deviation between empirical and exact
+// CDFs.
+const cdfTol = 0.04
+
+// sampleMakespans collects the per-trial makespans of a job through
+// Engine.Sample (which runs the ReuseResults hot path).
+func sampleMakespans(t *testing.T, job dispersion.Job, seed uint64) []float64 {
+	t.Helper()
+	xs, err := dispersion.Engine{Seed: seed, Experiment: 23}.Sample(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xs
+}
+
+// checkCDF compares the empirical CDF of xs against the exact cdf on the
+// integer grid 0..len(cdf)-1 in sup norm, and requires the exact horizon
+// to carry essentially all mass so the truncation cannot hide divergence.
+func checkCDF(t *testing.T, name string, xs []float64, cdf []float64) {
+	t.Helper()
+	T := len(cdf) - 1
+	if tail := 1 - cdf[T]; tail > 1e-6 {
+		t.Fatalf("%s: exact horizon %d leaves tail mass %g", name, T, tail)
+	}
+	counts := make([]int, T+1)
+	for _, x := range xs {
+		xi := int(x)
+		if float64(xi) != x || xi < 0 {
+			t.Fatalf("%s: non-integer makespan %v in a discrete process", name, x)
+		}
+		if xi <= T {
+			counts[xi]++
+		}
+	}
+	var cum int
+	var worst float64
+	worstT := -1
+	for tt := 0; tt <= T; tt++ {
+		cum += counts[tt]
+		emp := float64(cum) / float64(len(xs))
+		if d := math.Abs(emp - cdf[tt]); d > worst {
+			worst, worstT = d, tt
+		}
+	}
+	if worst > cdfTol {
+		t.Errorf("%s: sup|empirical - exact| = %.4f at t=%d (tolerance %.3f)",
+			name, worst, worstT, cdfTol)
+	}
+}
+
+// seqCDF computes the exact dispersion CDF of a Sequential variant with an
+// adaptive horizon: doubled until the tail mass is negligible.
+func seqCDF(t *testing.T, g *graph.Graph, v exact.SeqVariant) []float64 {
+	t.Helper()
+	for T := 256; T <= 8192; T *= 2 {
+		cdf, err := exact.SeqDispersionCDF(g, 0, v, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 1-cdf[T] < 1e-9 {
+			return cdf
+		}
+	}
+	t.Fatal("exact CDF did not converge within the horizon cap")
+	return nil
+}
+
+// capacityCDF is seqCDF for the capacity process.
+func capacityCDF(t *testing.T, g *graph.Graph, c, k int) []float64 {
+	t.Helper()
+	for T := 256; T <= 8192; T *= 2 {
+		cdf, err := exact.CapacityDispersionCDF(g, 0, c, k, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 1-cdf[T] < 1e-9 {
+			return cdf
+		}
+	}
+	t.Fatal("exact capacity CDF did not converge within the horizon cap")
+	return nil
+}
+
+// TestExactCDFVariantOptions compares full makespan CDFs for the variant
+// options of the plain Sequential process (WithLazy, WithParticles,
+// WithRandomOrigins, and their combination) on K_5 and the star.
+func TestExactCDFVariantOptions(t *testing.T) {
+	for gi, tc := range propGraphs() {
+		n := tc.g.N()
+		cases := []struct {
+			name    string
+			variant exact.SeqVariant
+			opts    []dispersion.Option
+		}{
+			{"plain", exact.SeqVariant{}, nil},
+			{"lazy", exact.SeqVariant{Rule: exact.Rule{Lazy: true}},
+				[]dispersion.Option{dispersion.WithLazy()}},
+			{"particles", exact.SeqVariant{Particles: n - 1},
+				[]dispersion.Option{dispersion.WithParticles(n - 1)}},
+			{"random-origins", exact.SeqVariant{RandomOrigins: true},
+				[]dispersion.Option{dispersion.WithRandomOrigins()}},
+			{"lazy+particles+random-origins",
+				exact.SeqVariant{Rule: exact.Rule{Lazy: true}, Particles: n - 1, RandomOrigins: true},
+				[]dispersion.Option{
+					dispersion.WithLazy(), dispersion.WithParticles(n - 1), dispersion.WithRandomOrigins(),
+				}},
+		}
+		for ci, c := range cases {
+			cdf := seqCDF(t, tc.g, c.variant)
+			xs := sampleMakespans(t, dispersion.Job{
+				Process: "sequential", Graph: tc.g, Trials: cdfTrials, Options: c.opts,
+			}, uint64(301+10*gi+ci))
+			checkCDF(t, tc.name+"/"+c.name, xs, cdf)
+		}
+	}
+}
+
+// TestExactCDFSettleRules compares full makespan CDFs for the registered
+// settle-rule processes on K_5 and the star.
+func TestExactCDFSettleRules(t *testing.T) {
+	for gi, tc := range propGraphs() {
+		cases := []struct {
+			name    string
+			process string
+			rule    exact.Rule
+			opts    []dispersion.Option
+		}{
+			{"geom-0.6", "sequential-geom", exact.Rule{Kind: exact.RuleGeom, Q: 0.6},
+				[]dispersion.Option{dispersion.WithSettleParam(0.6)}},
+			{"threshold-3", "sequential-threshold", exact.Rule{Kind: exact.RuleThreshold, T: 3},
+				[]dispersion.Option{dispersion.WithSettleParam(3)}},
+		}
+		for ci, c := range cases {
+			cdf := seqCDF(t, tc.g, exact.SeqVariant{Rule: c.rule})
+			xs := sampleMakespans(t, dispersion.Job{
+				Process: c.process, Graph: tc.g, Trials: cdfTrials, Options: c.opts,
+			}, uint64(401+10*gi+ci))
+			checkCDF(t, tc.name+"/"+c.name, xs, cdf)
+		}
+	}
+}
+
+// TestExactCDFCapacity compares the capacity process's full makespan CDF
+// against the occupancy-multiset DP.
+func TestExactCDFCapacity(t *testing.T) {
+	for gi, tc := range propGraphs() {
+		cdf := capacityCDF(t, tc.g, 2, 0)
+		xs := sampleMakespans(t, dispersion.Job{
+			Process: "capacity", Graph: tc.g, Trials: cdfTrials,
+		}, uint64(501+gi))
+		checkCDF(t, tc.name+"/capacity", xs, cdf)
+	}
+}

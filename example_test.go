@@ -87,14 +87,22 @@ func ExampleProcesses() {
 		fmt.Println(name)
 	}
 	// Output:
+	// capacity
+	// capacity-parallel
 	// ct-sequential
 	// ct-uniform
+	// lazy-capacity
+	// lazy-capacity-parallel
 	// lazy-ct-sequential
 	// lazy-ct-uniform
 	// lazy-parallel
 	// lazy-sequential
+	// lazy-sequential-geom
+	// lazy-sequential-threshold
 	// lazy-uniform
 	// parallel
 	// sequential
+	// sequential-geom
+	// sequential-threshold
 	// uniform
 }

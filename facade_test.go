@@ -151,6 +151,9 @@ func TestLookupAliases(t *testing.T) {
 		"seq": "sequential", "par": "parallel", "unif": "uniform",
 		"ctu": "ct-uniform", "ctseq": "ct-sequential",
 		"lazy-seq": "lazy-sequential", "lazy-ctu": "lazy-ct-uniform",
+		"geom": "sequential-geom", "thresh": "sequential-threshold",
+		"cap": "capacity", "cap-par": "capacity-parallel",
+		"lazy-geom": "lazy-sequential-geom", "lazy-cap": "lazy-capacity",
 	} {
 		p, err := dispersion.Lookup(alias)
 		if err != nil {
@@ -169,9 +172,13 @@ func TestLookupAliases(t *testing.T) {
 func TestProcessesRegistry(t *testing.T) {
 	names := dispersion.Processes()
 	want := []string{
-		"ct-sequential", "ct-uniform", "lazy-ct-sequential", "lazy-ct-uniform",
-		"lazy-parallel", "lazy-sequential", "lazy-uniform",
-		"parallel", "sequential", "uniform",
+		"capacity", "capacity-parallel", "ct-sequential", "ct-uniform",
+		"lazy-capacity", "lazy-capacity-parallel",
+		"lazy-ct-sequential", "lazy-ct-uniform",
+		"lazy-parallel", "lazy-sequential",
+		"lazy-sequential-geom", "lazy-sequential-threshold", "lazy-uniform",
+		"parallel", "sequential",
+		"sequential-geom", "sequential-threshold", "uniform",
 	}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("Processes() = %v, want %v", names, want)

@@ -1,0 +1,37 @@
+package graphspec_test
+
+import (
+	"testing"
+
+	"dispersion/graphspec"
+)
+
+// FuzzParse fuzzes the graph-spec parser: it must never panic, and every
+// accepted spec must round-trip through Spec.String — parsing the rendered
+// form reproduces the same Spec. (Argument validation belongs to Build, so
+// the round trip is purely syntactic.)
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"complete:128", "path:4", "cycle:0", "star:-1", "hypercube:16",
+		"grid:4x4", "torus:8x8x8", "regular:512,4", "gnp:64,0.5", "tree:33",
+		"pimple:96,4", "treepath:10,32", "bintree:9", "lollipop:32", "hair:96",
+		"", ":", "complete", "complete:", ":128", "torus:4x4:extra",
+		"complete:1:2", "gnp:64,0.5,9", "unknown:1", "COMPLETE:8", "torus:4xx4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := graphspec.Parse(spec)
+		if err != nil {
+			return
+		}
+		rendered := s.String()
+		s2, err := graphspec.Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but re-parsing its String %q failed: %v", spec, rendered, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip diverged: Parse(%q) = %+v, Parse(%q) = %+v", spec, s, rendered, s2)
+		}
+	})
+}

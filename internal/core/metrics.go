@@ -34,7 +34,8 @@ func (res *Result) UnsettledAtClock(clock int64) int {
 }
 
 // Check verifies the structural invariants every completed dispersion run
-// must satisfy: each vertex hosts exactly one settled particle, the
+// must satisfy: no vertex hosts more settled particles than the run's
+// per-vertex capacity (one, except for the capacity processes), the
 // settlement clock is non-decreasing, the recorded dispersion equals the
 // max step count, and recorded trajectories (if any) are genuine walks
 // ending at the settlement vertex. It is used by tests and the examples.
@@ -43,15 +44,19 @@ func (res *Result) Check(g *graph.Graph) error {
 		return fmt.Errorf("core: truncated run cannot be checked")
 	}
 	n := g.N()
-	seen := make([]bool, n)
+	capacity := int32(res.Capacity)
+	if capacity == 0 {
+		capacity = 1
+	}
+	hosts := make([]int32, n)
 	for i, v := range res.SettledAt {
 		if v < 0 || int(v) >= n {
 			return fmt.Errorf("core: particle %d settled at invalid vertex %d", i, v)
 		}
-		if seen[v] {
-			return fmt.Errorf("core: vertex %d settled twice", v)
+		hosts[v]++
+		if hosts[v] > capacity {
+			return fmt.Errorf("core: vertex %d hosts %d settled particles (capacity %d)", v, hosts[v], capacity)
 		}
-		seen[v] = true
 	}
 	var total, maxSteps int64
 	for _, s := range res.Steps {

@@ -55,14 +55,31 @@ type Options struct {
 	// zero means no bound. Guards against misconfigured experiments.
 	MaxSteps int64
 	// Particles is the number of particles to disperse (the Section 6.2
-	// variant with fewer particles than sites). Zero means n. Values
-	// above n are rejected: the surplus could never settle.
+	// variant with fewer particles than sites). Zero means the default:
+	// n for the unit-capacity processes, Capacity·n for the capacity
+	// processes. Values above the total capacity are rejected: the
+	// surplus could never settle.
 	Particles int
 	// RandomOrigins samples each particle's start vertex uniformly at
 	// random instead of using the common origin (the Section 6.2 variant
-	// with random origins). A particle starting on an unoccupied vertex
-	// settles there instantly with zero steps.
+	// with random origins). Under the standard rule a particle starting
+	// on an unoccupied vertex settles there instantly with zero steps;
+	// the settle-rule processes instead apply their rule to that step-0
+	// standing (a geom particle accepts it with probability q, a
+	// threshold particle not before step T).
 	RandomOrigins bool
+	// SettleParam parameterizes the registered settle-rule processes of
+	// Proposition A.1: the per-visit settle probability q of
+	// SequentialGeom and the minimum step count T of SequentialThreshold.
+	// Zero leaves each process its documented default. The standard
+	// processes ignore it.
+	SettleParam float64
+	// Capacity is the number of particles each vertex can host in the
+	// capacity processes (CapacitySequential, CapacityParallel): a
+	// particle settles on a vertex holding fewer than Capacity settled
+	// particles. Zero means DefaultCapacity. The unit-capacity processes
+	// ignore it.
+	Capacity int
 }
 
 // numParticles resolves Options.Particles against the graph size.
@@ -73,6 +90,40 @@ func (o Options) numParticles(n int) (int, error) {
 	}
 	if k < 1 || k > n {
 		return 0, fmt.Errorf("core: %d particles on %d vertices (want 1..n)", k, n)
+	}
+	return k, nil
+}
+
+// DefaultCapacity is the per-vertex capacity the capacity processes use
+// when Options.Capacity is zero: the smallest value whose behaviour is not
+// the unit-capacity Sequential/Parallel process.
+const DefaultCapacity = 2
+
+// maxCapacity bounds Options.Capacity so per-vertex counts fit the 24 bits
+// the Scratch count array reserves next to its epoch stamp.
+const maxCapacity = 1 << 20
+
+// capacity resolves Options.Capacity for the capacity processes.
+func (o Options) capacity() (int, error) {
+	c := o.Capacity
+	if c == 0 {
+		c = DefaultCapacity
+	}
+	if c < 1 || c > maxCapacity {
+		return 0, fmt.Errorf("core: per-vertex capacity %d (want 1..%d)", c, maxCapacity)
+	}
+	return c, nil
+}
+
+// numParticlesCap resolves Options.Particles against the total capacity
+// c·n of a capacity-c run. Zero means fill every vertex to capacity.
+func (o Options) numParticlesCap(n, c int) (int, error) {
+	k := o.Particles
+	if k == 0 {
+		k = c * n
+	}
+	if k < 1 || k > c*n {
+		return 0, fmt.Errorf("core: %d particles on %d vertices of capacity %d (want 1..%d)", k, n, c, c*n)
 	}
 	return k, nil
 }
@@ -113,6 +164,10 @@ type Result struct {
 	// Truncated reports that Options.MaxSteps fired; all counts are then
 	// lower bounds.
 	Truncated bool
+	// Capacity is the per-vertex capacity the run executed under: the
+	// resolved c of a capacity process, 1 for the unit-capacity
+	// processes.
+	Capacity int
 }
 
 // Unsettled returns how many particles were left unsettled (only nonzero

@@ -16,6 +16,12 @@ type Scratch struct {
 	epoch uint8
 	occ   []uint8
 
+	// cnt is the occupancy count array of the capacity processes: the
+	// high byte of each entry is the epoch that stamped it and the low 24
+	// bits the settled-particle count, so counts reset with the same O(1)
+	// epoch bump as occ. Entries stamped by an older epoch read as zero.
+	cnt []uint32
+
 	pos    []int32
 	active []int32
 	prio   []int32
@@ -38,10 +44,35 @@ func (s *Scratch) beginRun(n int) {
 		// Epoch wrapped: stale stamps could collide, so pay one clear.
 		// Clearing the full capacity (not just this run's prefix) keeps
 		// the invariant that every stamp in the buffer is <= epoch even
-		// when runs alternate between graph sizes.
+		// when runs alternate between graph sizes. The count array wraps
+		// on the same epoch, so it clears here too.
 		clear(s.occ[:cap(s.occ)])
+		clear(s.cnt[:cap(s.cnt)])
 		s.epoch = 1
 	}
+}
+
+// counts prepares the occupancy count array for a capacity-process run on
+// n vertices; all counts start at zero. Fresh entries carry epoch stamp 0,
+// which beginRun guarantees is never the live epoch.
+func (s *Scratch) counts(n int) {
+	if cap(s.cnt) < n {
+		s.cnt = make([]uint32, n)
+	}
+	s.cnt = s.cnt[:n]
+}
+
+// count returns how many settled particles vertex v hosts this run.
+func (s *Scratch) count(v int32) int32 {
+	if c := s.cnt[v]; uint8(c>>24) == s.epoch {
+		return int32(c & 0xffffff)
+	}
+	return 0
+}
+
+// setCount records that vertex v hosts c settled particles this run.
+func (s *Scratch) setCount(v int32, c int32) {
+	s.cnt[v] = uint32(s.epoch)<<24 | uint32(c)
 }
 
 // occupied reports whether vertex v hosts a settled particle this run.
@@ -73,6 +104,7 @@ func (res *Result) reset(k int, record bool) {
 	res.Dispersion = 0
 	res.TotalSteps = 0
 	res.Truncated = false
+	res.Capacity = 1
 	res.Steps = growI64(res.Steps, k)
 	for i := range res.Steps {
 		res.Steps[i] = 0

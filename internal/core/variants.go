@@ -1,0 +1,443 @@
+// This file holds the registered variant workloads: the Proposition A.1
+// modified settle rules (geometric acceptance and step-threshold
+// settlement) and the capacity-c generalization where every vertex hosts
+// up to c particles. Like the five standard processes, each comes as a
+// one-shot function and an *Into variant sharing the caller's Scratch and
+// Result buffers; the *Into forms are the engine's zero-allocation hot
+// path and dispatch every walk through the graph's step kernel.
+
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dispersion/internal/graph"
+	"dispersion/internal/rng"
+)
+
+// geomParam resolves Options.SettleParam as SequentialGeom's per-visit
+// settle probability q. Zero means the default 1/2; q = 1 recovers the
+// standard rule.
+func (o Options) geomParam() (float64, error) {
+	q := o.SettleParam
+	if q == 0 {
+		q = 0.5
+	}
+	// The negated form also rejects NaN, which would otherwise make the
+	// acceptance coin unwinnable and the walk endless.
+	if !(q > 0 && q <= 1) {
+		return 0, fmt.Errorf("core: geometric settle probability %v (want (0,1])", q)
+	}
+	return q, nil
+}
+
+// thresholdParam resolves Options.SettleParam as SequentialThreshold's
+// minimum step count T (the fractional part is truncated). Zero means the
+// default n, the graph size; T = 0 is expressed by any negative-free
+// sub-one value and recovers the standard rule.
+func (o Options) thresholdParam(n int) (int64, error) {
+	if o.SettleParam == 0 {
+		return int64(n), nil
+	}
+	// The negated range check rejects NaN (whose int64 conversion is
+	// platform-defined) and an infinite or absurd threshold that could
+	// never finish its forced walk.
+	if !(o.SettleParam > 0 && o.SettleParam <= math.MaxInt32) {
+		return 0, fmt.Errorf("core: settle threshold %v (want (0,%d]; 0 selects the default n)",
+			o.SettleParam, math.MaxInt32)
+	}
+	return int64(o.SettleParam), nil
+}
+
+// SequentialGeom runs the Sequential process under the geometric settle
+// rule of Proposition A.1: a particle standing on a vacant vertex settles
+// there with probability q per visit (Options.SettleParam, default 1/2)
+// and otherwise keeps walking. q = 1 recovers the standard process.
+func SequentialGeom(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := SequentialGeomInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SequentialGeomInto is SequentialGeom writing into a caller-owned Result
+// through the given Scratch (nil allocates a transient one). res is fully
+// overwritten; the RNG stream consumed is identical to SequentialGeom's.
+func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return err
+	}
+	q, err := opt.geomParam()
+	if err != nil {
+		return err
+	}
+	if err := validateRun(g, origin); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
+	occ, epoch := s.occ, s.epoch
+	if !opt.Record {
+		// Hot path: each stretch of occupied vertices runs as one kernel
+		// call; the acceptance coin is drawn only on vacant standings, so
+		// the draw sequence matches the recording loop below exactly.
+		for i := 0; i < k; i++ {
+			v := opt.startVertex(origin, n, r)
+			var steps int64
+			for {
+				budget := int64(math.MaxInt64)
+				if opt.MaxSteps > 0 {
+					budget = opt.MaxSteps - res.TotalSteps
+				}
+				var walked int64
+				v, walked = kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+				steps += walked
+				res.TotalSteps += walked
+				if walked >= budget {
+					res.Truncated = true
+					res.Steps[i] = steps
+					return nil
+				}
+				if r.Float64() < q {
+					break
+				}
+				// Rejected the vacant vertex: one forced move, then keep
+				// walking.
+				v = step(kern, v, opt.Lazy, r)
+				steps++
+				res.TotalSteps++
+				if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+					res.Truncated = true
+					res.Steps[i] = steps
+					return nil
+				}
+			}
+			occ[v] = epoch
+			res.settle(i, v, steps, res.TotalSteps)
+		}
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		v := opt.startVertex(origin, n, r)
+		var steps int64
+		traj := []int32{v}
+		// Standing on an occupied vertex draws no acceptance coin (the
+		// short-circuit mirrors the hot path's WalkUntilVacant stretch).
+		for occ[v] == epoch || r.Float64() >= q {
+			v = step(kern, v, opt.Lazy, r)
+			steps++
+			res.TotalSteps++
+			traj = append(traj, v)
+			if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+				res.Truncated = true
+				res.Steps[i] = steps
+				res.Trajectories[i] = traj
+				return nil
+			}
+		}
+		occ[v] = epoch
+		res.settle(i, v, steps, res.TotalSteps)
+		res.Trajectories[i] = traj
+	}
+	return nil
+}
+
+// SequentialThreshold runs the Sequential process under the step-threshold
+// settle rule of Proposition A.1: a particle may settle only from its T-th
+// step on (Options.SettleParam, default n), at the first vacant vertex it
+// then stands on. Longer forced walks can decrease the dispersion time on
+// gadgets like the clique-with-hair — the paper's no-least-action example.
+func SequentialThreshold(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := SequentialThresholdInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SequentialThresholdInto is SequentialThreshold writing into a
+// caller-owned Result through the given Scratch (nil allocates a transient
+// one). res is fully overwritten; the RNG stream consumed is identical to
+// SequentialThreshold's.
+func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+	n := g.N()
+	k, err := opt.numParticles(n)
+	if err != nil {
+		return err
+	}
+	T, err := opt.thresholdParam(n)
+	if err != nil {
+		return err
+	}
+	if err := validateRun(g, origin); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	s.beginRun(n)
+	kern := g.Kernel()
+	occ, epoch := s.occ, s.epoch
+	for i := 0; i < k; i++ {
+		v := opt.startVertex(origin, n, r)
+		var steps int64
+		var traj []int32
+		if opt.Record {
+			traj = append(traj, v)
+		}
+		// Phase one: the forced walk below the threshold, blind to
+		// occupancy.
+		for steps < T {
+			v = step(kern, v, opt.Lazy, r)
+			steps++
+			res.TotalSteps++
+			if opt.Record {
+				traj = append(traj, v)
+			}
+			if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+				res.Truncated = true
+				res.Steps[i] = steps
+				res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
+				return nil
+			}
+		}
+		// Phase two: the standard settlement walk to the first vacant
+		// standing vertex, fused into one kernel call when not recording.
+		if !opt.Record {
+			budget := int64(math.MaxInt64)
+			if opt.MaxSteps > 0 {
+				budget = opt.MaxSteps - res.TotalSteps
+			}
+			var walked int64
+			v, walked = kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			steps += walked
+			res.TotalSteps += walked
+			if walked >= budget {
+				res.Truncated = true
+				res.Steps[i] = steps
+				return nil
+			}
+		} else {
+			for occ[v] == epoch {
+				v = step(kern, v, opt.Lazy, r)
+				steps++
+				res.TotalSteps++
+				traj = append(traj, v)
+				if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+					res.Truncated = true
+					res.Steps[i] = steps
+					res.Trajectories[i] = traj
+					return nil
+				}
+			}
+		}
+		occ[v] = epoch
+		res.settle(i, v, steps, res.TotalSteps)
+		res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
+	}
+	return nil
+}
+
+// CapacitySequential runs the capacity-c Sequential process: the
+// k-particles-per-vertex load-balancing generalization where every vertex
+// hosts up to c settled particles (Options.Capacity, default
+// DefaultCapacity) and a particle settles on the first standing vertex
+// holding fewer than c. By default c·n particles disperse, filling every
+// vertex to capacity; Options.Particles lowers the count.
+func CapacitySequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := CapacitySequentialInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CapacitySequentialInto is CapacitySequential writing into a caller-owned
+// Result through the given Scratch (nil allocates a transient one). res is
+// fully overwritten; the RNG stream consumed is identical to
+// CapacitySequential's. Vertices at capacity are stamped into the same
+// occupancy map the unit-capacity walks test, so the whole settlement walk
+// still runs behind one kernel dispatch.
+func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+	n := g.N()
+	c, err := opt.capacity()
+	if err != nil {
+		return err
+	}
+	k, err := opt.numParticlesCap(n, c)
+	if err != nil {
+		return err
+	}
+	if err := validateRun(g, origin); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	res.Capacity = c
+	s.beginRun(n)
+	s.counts(n)
+	kern := g.Kernel()
+	occ, epoch := s.occ, s.epoch
+	if !opt.Record {
+		for i := 0; i < k; i++ {
+			v := opt.startVertex(origin, n, r)
+			budget := int64(math.MaxInt64)
+			if opt.MaxSteps > 0 {
+				budget = opt.MaxSteps - res.TotalSteps
+			}
+			v, steps := kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			res.TotalSteps += steps
+			if steps >= budget {
+				res.Truncated = true
+				res.Steps[i] = steps
+				return nil
+			}
+			cv := s.count(v) + 1
+			s.setCount(v, cv)
+			if int(cv) == c {
+				occ[v] = epoch
+			}
+			res.settle(i, v, steps, res.TotalSteps)
+		}
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		v := opt.startVertex(origin, n, r)
+		var steps int64
+		traj := []int32{v}
+		for occ[v] == epoch {
+			v = step(kern, v, opt.Lazy, r)
+			steps++
+			res.TotalSteps++
+			traj = append(traj, v)
+			if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+				res.Truncated = true
+				res.Steps[i] = steps
+				res.Trajectories[i] = traj
+				return nil
+			}
+		}
+		cv := s.count(v) + 1
+		s.setCount(v, cv)
+		if int(cv) == c {
+			occ[v] = epoch
+		}
+		res.settle(i, v, steps, res.TotalSteps)
+		res.Trajectories[i] = traj
+	}
+	return nil
+}
+
+// CapacityParallel runs the capacity-c Parallel process: all particles
+// start together, every round all unsettled particles move simultaneously,
+// and settlement resolution in priority order lets each vertex accept
+// arrivals until it holds c settled particles (Options.Capacity, default
+// DefaultCapacity). Priority is least index, or a uniform permutation
+// under Options.RandomPriority.
+func CapacityParallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+	res := new(Result)
+	if err := CapacityParallelInto(g, origin, opt, r, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CapacityParallelInto is CapacityParallel writing into a caller-owned
+// Result through the given Scratch (nil allocates a transient one). res is
+// fully overwritten; the RNG stream consumed is identical to
+// CapacityParallel's.
+func CapacityParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+	n := g.N()
+	c, err := opt.capacity()
+	if err != nil {
+		return err
+	}
+	k, err := opt.numParticlesCap(n, c)
+	if err != nil {
+		return err
+	}
+	if err := validateRun(g, origin); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	res.reset(k, opt.Record)
+	res.Capacity = c
+	s.beginRun(n)
+	s.counts(n)
+	kern := g.Kernel()
+
+	s.prio = growI32(s.prio, k)
+	prio := s.prio
+	for i := range prio {
+		prio[i] = int32(i)
+	}
+	if opt.RandomPriority {
+		r.Shuffle(len(prio), func(i, j int) { prio[i], prio[j] = prio[j], prio[i] })
+	}
+	s.pos = growI32(s.pos, k)
+	pos := s.pos
+	for i := range pos {
+		pos[i] = opt.startVertex(origin, n, r)
+	}
+	if opt.Record {
+		for i := 0; i < k; i++ {
+			res.Trajectories[i] = []int32{pos[i]}
+		}
+	}
+	// Round 0 settlement: every vertex accepts standing particles up to
+	// its capacity, in priority order. With a common origin, c of them
+	// settle there instantly.
+	s.active = growI32(s.active, k)[:0]
+	active := s.active
+	for _, p := range prio {
+		if cv := s.count(pos[p]); int(cv) < c {
+			s.setCount(pos[p], cv+1)
+			res.settle(int(p), pos[p], 0, 0)
+		} else {
+			active = append(active, p)
+		}
+	}
+
+	var round int64
+	for len(active) > 0 {
+		round++
+		for _, p := range active {
+			pos[p] = step(kern, pos[p], opt.Lazy, r)
+			res.Steps[p]++
+			res.TotalSteps++
+			if opt.Record {
+				res.Trajectories[p] = append(res.Trajectories[p], pos[p])
+			}
+		}
+		// Settlement resolution in priority order: each vertex accepts
+		// arrivals until it reaches capacity.
+		keep := active[:0]
+		for _, p := range active {
+			if cv := s.count(pos[p]); int(cv) < c {
+				s.setCount(pos[p], cv+1)
+				res.settle(int(p), pos[p], res.Steps[p], round)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		active = keep
+		if opt.MaxSteps > 0 && res.TotalSteps >= opt.MaxSteps {
+			res.Truncated = true
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package exact
+
+import (
+	"fmt"
+
+	"dispersion/internal/graph"
+)
+
+// This file extends the exact machinery to the capacity-c Sequential
+// process: every vertex hosts up to c settled particles and a walker
+// settles at the first standing vertex below capacity. The DP state is the
+// occupancy multiset (a count per vertex) rather than a subset, but each
+// transition still only depends on the set of *full* vertices: the next
+// particle walks through full vertices and is absorbed on sub-full ones,
+// which is exactly SettleLaw with the full set as the occupied set. By the
+// abelian (Diaconis-Fulton) property the total-steps law is shared with
+// the capacity-c Parallel process, mirroring Theorem 4.1.
+
+// checkCapacity validates the shared inputs of the capacity DPs and
+// resolves the particle count (k = 0 means fill to capacity, c·n).
+func checkCapacity(g *graph.Graph, origin, c, k int) (int, error) {
+	n := g.N()
+	if n > maxExactN {
+		return 0, fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", n, maxExactN)
+	}
+	if origin < 0 || origin >= n {
+		return 0, fmt.Errorf("exact: origin %d out of range", origin)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: graph not connected")
+	}
+	if c < 1 || c > 255 {
+		return 0, fmt.Errorf("exact: capacity %d (want 1..255, the DP's count encoding)", c)
+	}
+	if k == 0 {
+		k = c * n
+	}
+	if k < 1 || k > c*n {
+		return 0, fmt.Errorf("exact: %d particles on %d vertices of capacity %d (want 1..%d)", k, n, c, c*n)
+	}
+	return k, nil
+}
+
+// fullSet returns the bitmask of vertices whose count has reached c.
+func fullSet(counts []byte, c int) uint32 {
+	var s uint32
+	for v, cnt := range counts {
+		if int(cnt) == c {
+			s |= 1 << uint(v)
+		}
+	}
+	return s
+}
+
+// CapacityExpectedTotalSteps returns the exact E[total steps] of the
+// capacity-c Sequential process dispersing k particles from origin (k = 0
+// means c·n, filling every vertex): a forward DP over occupancy multisets
+// whose transitions reuse the rule-aware settlement law with the full set
+// as the occupied set.
+func CapacityExpectedTotalSteps(g *graph.Graph, origin, c, k int) (float64, error) {
+	k, err := checkCapacity(g, origin, c, k)
+	if err != nil {
+		return 0, err
+	}
+	n := g.N()
+	laws := newLawCache(g, Rule{})
+	// cur maps the occupancy multiset (one count byte per vertex) to the
+	// probability the process visits it; all states in cur share the same
+	// number of settled particles, so one pass per settlement suffices.
+	cur := map[string]float64{string(make([]byte, n)): 1}
+	var total float64
+	for settled := 0; settled < k; settled++ {
+		next := make(map[string]float64, len(cur)*2)
+		for st, p := range cur {
+			counts := []byte(st)
+			measure, mean, err := laws.law(origin, fullSet(counts, c))
+			if err != nil {
+				return 0, err
+			}
+			total += p * mean
+			for v := 0; v < n; v++ {
+				if measure[v] == 0 {
+					continue
+				}
+				succ := append([]byte(nil), counts...)
+				succ[v]++
+				next[string(succ)] += p * measure[v]
+			}
+		}
+		cur = next
+	}
+	return total, nil
+}
+
+// CapacityDispersionCDF returns the exact CDF of the capacity-c Sequential
+// dispersion time for k particles from origin (k = 0 means c·n):
+// cdf[t] = P(max per-particle steps <= t) for t = 0..T.
+func CapacityDispersionCDF(g *graph.Graph, origin, c, k, T int) ([]float64, error) {
+	k, err := checkCapacity(g, origin, c, k)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// cdfCache memoizes the per-full-set settlement CDF.
+	cdfCache := map[uint32][][]float64{}
+	settleFor := func(s uint32) ([][]float64, error) {
+		if out, ok := cdfCache[s]; ok {
+			return out, nil
+		}
+		out, err := SettleCDF(g, origin, s, Rule{}, T)
+		if err != nil {
+			return nil, err
+		}
+		cdfCache[s] = out
+		return out, nil
+	}
+	cdf := make([]float64, T+1)
+	// f[state][t] = P(process reaches state AND every walk so far <= t).
+	f := map[string][]float64{string(make([]byte, n)): ones(T + 1)}
+	for settled := 0; settled < k; settled++ {
+		nextF := make(map[string][]float64, len(f)*2)
+		for st, fs := range f {
+			counts := []byte(st)
+			settle, err := settleFor(fullSet(counts, c))
+			if err != nil {
+				return nil, err
+			}
+			for v := 0; v < n; v++ {
+				if settle[v][T] == 0 {
+					continue
+				}
+				succ := append([]byte(nil), counts...)
+				succ[v]++
+				nxt := nextF[string(succ)]
+				if nxt == nil {
+					nxt = make([]float64, T+1)
+					nextF[string(succ)] = nxt
+				}
+				for t := 0; t <= T; t++ {
+					nxt[t] += fs[t] * settle[v][t]
+				}
+			}
+		}
+		f = nextF
+	}
+	for _, fs := range f {
+		for t := 0; t <= T; t++ {
+			cdf[t] += fs[t]
+		}
+	}
+	return cdf, nil
+}
+
+// CapacityExpectedDispersion returns the exact E[dispersion] of the
+// capacity-c Sequential process up to the truncation error of horizon T,
+// plus the residual tail mass P(τ > T).
+func CapacityExpectedDispersion(g *graph.Graph, origin, c, k, T int) (mean, tailMass float64, err error) {
+	cdf, err := CapacityDispersionCDF(g, origin, c, k, T)
+	if err != nil {
+		return 0, 0, err
+	}
+	for t := 0; t < T; t++ {
+		mean += 1 - cdf[t]
+	}
+	return mean, 1 - cdf[T], nil
+}

@@ -1,0 +1,122 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"dispersion/internal/graph"
+)
+
+// Capacity 1 with k = n particles is the standard Sequential process.
+func TestCapacityOneMatchesClassic(t *testing.T) {
+	for _, g := range ruleGraphs() {
+		e, err := NewSequential(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.ExpectedTotalSteps()
+		got, err := CapacityExpectedTotalSteps(g, 0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: capacity-1 total steps %.9f, classic %.9f", g.Name(), got, want)
+		}
+
+		const T = 200
+		wantCDF := e.DispersionCDF(T)
+		gotCDF, err := CapacityDispersionCDF(g, 0, 1, 0, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt <= T; tt++ {
+			if math.Abs(gotCDF[tt]-wantCDF[tt]) > 1e-9 {
+				t.Fatalf("%s: capacity-1 cdf[%d] = %.9f, classic %.9f", g.Name(), tt, gotCDF[tt], wantCDF[tt])
+			}
+		}
+	}
+}
+
+// On K_2 with capacity c the process has a closed form: the first c
+// particles settle at the origin with zero steps; each later particle
+// starts on the (full) origin and walks exactly one step to the other
+// vertex, which stays sub-full until the end. E[total] = c.
+func TestCapacityClosedFormK2(t *testing.T) {
+	g := graph.Complete(2)
+	for _, c := range []int{1, 2, 5} {
+		got, err := CapacityExpectedTotalSteps(g, 0, c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("c=%d: total steps %.9f, want %.9f", c, got, want)
+		}
+	}
+}
+
+// Truncating the particle count must interpolate monotonically: more
+// particles never decrease the expected total steps, and k = 1 from a
+// fixed origin costs zero steps.
+func TestCapacityParticlesMonotone(t *testing.T) {
+	g := graph.Star(5)
+	const c = 2
+	prev := -1.0
+	for k := 1; k <= c*g.N(); k++ {
+		got, err := CapacityExpectedTotalSteps(g, 0, c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 1 && got != 0 {
+			t.Errorf("k=1: total steps %.9f, want 0", got)
+		}
+		if got < prev-1e-12 {
+			t.Errorf("k=%d: total steps %.9f below k=%d's %.9f", k, got, k-1, prev)
+		}
+		prev = got
+	}
+}
+
+// The dispersion CDF must be a genuine CDF whose horizon captures the full
+// mass, and its mean must dominate the capacity-1 mean (full vertices make
+// walks longer... on K_n the extra load strictly increases dispersion).
+func TestCapacityCDFShape(t *testing.T) {
+	g := graph.Complete(5)
+	const T = 400
+	cdf, err := CapacityDispersionCDF(g, 0, 2, 0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 1; t2 <= T; t2++ {
+		if cdf[t2] < cdf[t2-1]-1e-12 {
+			t.Fatalf("cdf decreases at %d: %.12f -> %.12f", t2, cdf[t2-1], cdf[t2])
+		}
+	}
+	if tail := 1 - cdf[T]; tail > 1e-9 {
+		t.Fatalf("horizon %d leaves tail mass %g", T, tail)
+	}
+	mean2, _, err := CapacityExpectedDispersion(g, 0, 2, 0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean1, _, err := CapacityExpectedDispersion(g, 0, 1, 0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean2 <= mean1 {
+		t.Errorf("capacity-2 mean dispersion %.4f not above capacity-1's %.4f", mean2, mean1)
+	}
+}
+
+// Bad parameters are rejected.
+func TestCapacityErrors(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := CapacityExpectedTotalSteps(g, 0, 0, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := CapacityExpectedTotalSteps(g, 0, 2, 7); err == nil {
+		t.Error("k > c*n accepted")
+	}
+	if _, err := CapacityExpectedTotalSteps(g, 9, 2, 0); err == nil {
+		t.Error("origin out of range accepted")
+	}
+}

@@ -275,21 +275,12 @@ func solveInPlace(a [][]float64, b []float64) {
 // subsetsByPopcount returns all subsets of [0,n) containing origin,
 // ordered by increasing cardinality (so DP dependencies are satisfied).
 func subsetsByPopcount(n, origin int) []uint32 {
-	var out []uint32
-	for s := uint32(0); s < 1<<uint(n); s++ {
+	all := allSubsetsByPopcount(n)
+	out := all[:0]
+	for _, s := range all {
 		if s&(1<<uint(origin)) != 0 {
 			out = append(out, s)
 		}
-	}
-	// Counting sort by popcount.
-	buckets := make([][]uint32, n+1)
-	for _, s := range out {
-		pc := popcount(s)
-		buckets[pc] = append(buckets[pc], s)
-	}
-	out = out[:0]
-	for _, b := range buckets {
-		out = append(out, b...)
 	}
 	return out
 }

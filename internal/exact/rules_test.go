@@ -1,0 +1,194 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"dispersion/internal/graph"
+)
+
+// ruleGraphs are the small cross-validation graphs: one vertex-transitive,
+// one with strongly origin-dependent harmonic measures, one with a
+// degree-one tail.
+func ruleGraphs() []*graph.Graph {
+	return []*graph.Graph{graph.Complete(5), graph.Star(5), graph.Path(4)}
+}
+
+// The zero SeqVariant must reproduce the classic arrival-absorbed solver.
+func TestSeqVariantMatchesClassicTotalSteps(t *testing.T) {
+	for _, g := range ruleGraphs() {
+		e, err := NewSequential(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.ExpectedTotalSteps()
+		got, err := SeqExpectedTotalSteps(g, 0, SeqVariant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: variant DP total steps %.9f, classic %.9f", g.Name(), got, want)
+		}
+	}
+}
+
+// The zero SeqVariant's dispersion CDF must match the classic solver's.
+func TestSeqVariantMatchesClassicCDF(t *testing.T) {
+	const T = 200
+	for _, g := range ruleGraphs() {
+		e, err := NewSequential(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.DispersionCDF(T)
+		got, err := SeqDispersionCDF(g, 0, SeqVariant{}, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt <= T; tt++ {
+			if math.Abs(got[tt]-want[tt]) > 1e-9 {
+				t.Fatalf("%s: cdf[%d] = %.9f, classic %.9f", g.Name(), tt, got[tt], want[tt])
+			}
+		}
+	}
+}
+
+// A geometric rule with q = 1 and a threshold rule with T = 0 are the
+// standard rule.
+func TestDegenerateRulesMatchStandard(t *testing.T) {
+	for _, g := range ruleGraphs() {
+		want, err := SeqExpectedTotalSteps(g, 0, SeqVariant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, rule := range map[string]Rule{
+			"geom-q1":     {Kind: RuleGeom, Q: 1},
+			"threshold-0": {Kind: RuleThreshold, T: 0},
+		} {
+			got, err := SeqExpectedTotalSteps(g, 0, SeqVariant{Rule: rule})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s/%s: total steps %.9f, standard %.9f", g.Name(), name, got, want)
+			}
+		}
+	}
+}
+
+// A lazy walk doubles the expected total steps exactly: the jump sequence
+// keeps its law and each jump costs an independent Geometric(1/2) number
+// of ticks.
+func TestLazyDoublesTotalSteps(t *testing.T) {
+	for _, g := range ruleGraphs() {
+		std, err := SeqExpectedTotalSteps(g, 0, SeqVariant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := SeqExpectedTotalSteps(g, 0, SeqVariant{Rule: Rule{Lazy: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lazy-2*std) > 1e-9 {
+			t.Errorf("%s: lazy total steps %.9f, want 2x standard = %.9f", g.Name(), lazy, 2*std)
+		}
+	}
+}
+
+// On K_2 the geometric rule has a closed form. Particle 0 stands only on
+// vacant vertices, so it walks R ~ (rejections of a Geom(q)) steps and
+// settles on vertex R mod 2. Particle 1 pays one extra step when the
+// origin is occupied (R even, probability 1/(2-q)) and two steps per
+// rejection either way:
+//
+//	E[total] = 3(1-q)/q + 1/(2-q).
+func TestGeomClosedFormK2(t *testing.T) {
+	g := graph.Complete(2)
+	for _, q := range []float64{0.25, 0.5, 0.9, 1} {
+		got, err := SeqExpectedTotalSteps(g, 0, SeqVariant{Rule: Rule{Kind: RuleGeom, Q: q}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3*(1-q)/q + 1/(2-q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("q=%v: total steps %.9f, want %.9f", q, got, want)
+		}
+	}
+}
+
+// The threshold rule's forced walk adds exactly T steps per walking
+// particle on the complete graph... not in general, so pin K_2 where the
+// parity structure makes it exact: a particle forced to walk T steps on
+// K_2 lands on its start vertex for even T and on the other vertex for odd
+// T, then settles at the first vacant standing.
+func TestThresholdClosedFormK2(t *testing.T) {
+	g := graph.Complete(2)
+	for _, T := range []int{1, 2, 3, 6, 7} {
+		got, err := SeqExpectedTotalSteps(g, 0, SeqVariant{Rule: Rule{Kind: RuleThreshold, T: T}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Particle 0 walks exactly T steps, landing on vertex T mod 2 and
+		// settling there (it is vacant). Particle 1 then walks its own T
+		// steps, landing on the same vertex T mod 2 — occupied — and
+		// needs exactly one more step to reach the vacant one.
+		want := float64(2*T + 1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("T=%d: total steps %.9f, want %.9f", T, got, want)
+		}
+	}
+}
+
+// SettleLaw's measure must sum to one and agree with the classic harmonic
+// measure when the start is occupied under the standard rule.
+func TestSettleLawMatchesHarmonicMeasure(t *testing.T) {
+	for _, g := range ruleGraphs() {
+		e, err := NewSequential(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []uint32{1, 3, 5} {
+			if s >= uint32(1)<<uint(g.N())-1 || s&1 == 0 {
+				continue
+			}
+			want := e.HarmonicMeasure(s)
+			measure, mean, err := SettleLaw(g, 0, s, Rule{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			for v := range measure {
+				total += measure[v]
+				if math.Abs(measure[v]-want[v]) > 1e-9 {
+					t.Errorf("%s s=%b: measure[%d] = %.9f, harmonic %.9f", g.Name(), s, v, measure[v], want[v])
+				}
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Errorf("%s s=%b: measure sums to %.12f", g.Name(), s, total)
+			}
+			if wantMean := e.MeanAbsorptionTime(s); math.Abs(mean-wantMean) > 1e-9 {
+				t.Errorf("%s s=%b: mean %.9f, absorption solver %.9f", g.Name(), s, mean, wantMean)
+			}
+		}
+	}
+}
+
+// The full-set solve and bad parameters must error instead of looping.
+func TestRuleSolveErrors(t *testing.T) {
+	g := graph.Complete(3)
+	if _, _, err := SettleLaw(g, 0, 0b111, Rule{}); err == nil {
+		t.Error("full occupied set accepted")
+	}
+	if _, _, err := SettleLaw(g, 0, 0, Rule{Kind: RuleGeom, Q: 0}); err == nil {
+		t.Error("q = 0 accepted")
+	}
+	if _, _, err := SettleLaw(g, 0, 0, Rule{Kind: RuleGeom, Q: 1.5}); err == nil {
+		t.Error("q > 1 accepted")
+	}
+	if _, _, err := SettleLaw(g, 0, 0, Rule{Kind: RuleThreshold, T: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := SeqExpectedTotalSteps(g, 0, SeqVariant{Particles: 4}); err == nil {
+		t.Error("k > n accepted")
+	}
+}

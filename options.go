@@ -41,7 +41,9 @@ func WithParticles(k int) Option {
 
 // WithRandomOrigins samples each particle's start vertex uniformly at
 // random instead of using the common origin (the Section 6.2 variant). A
-// particle starting on an unoccupied vertex settles there with zero steps.
+// particle starting on an unoccupied vertex settles there with zero steps
+// under the standard rule; the settle-rule processes apply their rule to
+// that step-0 standing instead.
 func WithRandomOrigins() Option {
 	return func(c *config) { c.core.RandomOrigins = true }
 }
@@ -51,6 +53,25 @@ func WithRandomOrigins() Option {
 // vertex.
 func WithSettleRule(rule SettleRule) Option {
 	return func(c *config) { c.core.Rule = rule }
+}
+
+// WithSettleParam sets the scalar parameter of the registered settle-rule
+// processes (Proposition A.1): the per-visit settle probability q of
+// "sequential-geom" (default 1/2) and the minimum step count T of
+// "sequential-threshold" (default n, the graph size). Zero leaves the
+// process default; the standard processes ignore it.
+func WithSettleParam(p float64) Option {
+	return func(c *config) { c.core.SettleParam = p }
+}
+
+// WithCapacity makes every vertex of the capacity processes ("capacity",
+// "capacity-parallel") host up to c settled particles, the
+// k-particles-per-vertex load-balancing generalization. Zero means the
+// default capacity 2; the unit-capacity processes ignore it. By default a
+// capacity run disperses c·n particles (filling every vertex to capacity);
+// combine with WithParticles for partial loads.
+func WithCapacity(c int) Option {
+	return func(cfg *config) { cfg.core.Capacity = c }
 }
 
 // WithMaxSteps aborts a run whose total step count exceeds n, marking the

@@ -32,18 +32,39 @@ var (
 )
 
 // Register adds a process to the registry under its canonical name and
-// any aliases. It panics on a duplicate name, mirroring database/sql.
+// any aliases. It panics on a duplicate name, mirroring database/sql; use
+// RegisterErr to handle collisions programmatically.
 func Register(p Process, aliases ...string) {
+	if err := RegisterErr(p, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterErr adds a process to the registry under its canonical name and
+// any aliases, reporting a descriptive error instead of panicking when any
+// of the names is already taken (or repeated in the arguments). On error
+// the registry is left untouched: no subset of the names is registered.
+func RegisterErr(p Process, aliases ...string) error {
+	names := append([]string{p.Name()}, aliases...)
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	for _, name := range append([]string{p.Name()}, aliases...) {
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
 		if _, dup := registry[name]; dup {
-			panic("dispersion: duplicate process name " + name)
+			return fmt.Errorf("dispersion: process name %q already registered (process %q)",
+				name, registry[name].Name())
 		}
+		if seen[name] {
+			return fmt.Errorf("dispersion: process %q repeats the name %q", p.Name(), name)
+		}
+		seen[name] = true
+	}
+	for _, name := range names {
 		registry[name] = p
 	}
 	canonical = append(canonical, p.Name())
 	sort.Strings(canonical)
+	return nil
 }
 
 // Lookup returns the process registered under name (canonical or alias).
@@ -113,6 +134,13 @@ func init() {
 		{"uniform", []string{"unif"}, false, discreteInto(core.UniformInto)},
 		{"ct-uniform", []string{"ctu"}, true, core.CTUniformInto},
 		{"ct-sequential", []string{"ctseq"}, true, core.CTSequentialInto},
+		// The Proposition A.1 modified settle rules, parameterized by
+		// WithSettleParam, and the capacity-c (k-particles-per-vertex)
+		// load-balancing generalization, parameterized by WithCapacity.
+		{"sequential-geom", []string{"geom"}, false, discreteInto(core.SequentialGeomInto)},
+		{"sequential-threshold", []string{"thresh"}, false, discreteInto(core.SequentialThresholdInto)},
+		{"capacity", []string{"cap"}, false, discreteInto(core.CapacitySequentialInto)},
+		{"capacity-parallel", []string{"cap-par"}, false, discreteInto(core.CapacityParallelInto)},
 	}
 	for _, v := range variants {
 		Register(&coreProcess{

@@ -1,0 +1,63 @@
+package dispersion_test
+
+import (
+	"strings"
+	"testing"
+
+	"dispersion"
+)
+
+// stubProcess is a minimal Process for registry collision tests.
+type stubProcess struct{ name string }
+
+func (p stubProcess) Name() string   { return p.name }
+func (stubProcess) Continuous() bool { return false }
+func (stubProcess) Run(*dispersion.Graph, int, *dispersion.Source, ...dispersion.Option) (*dispersion.Result, error) {
+	return nil, nil
+}
+
+// RegisterErr must reject any collision with a descriptive error and leave
+// the registry untouched — including when the collision is on an alias, so
+// no partial registration survives.
+func TestRegisterErrCollision(t *testing.T) {
+	before := dispersion.Processes()
+
+	// Canonical-name collision.
+	err := dispersion.RegisterErr(stubProcess{name: "sequential"})
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Fatalf("canonical collision: err = %v, want a descriptive duplicate error", err)
+	}
+
+	// Alias collision: the canonical name is free, the alias is taken.
+	// Nothing — not even the free canonical name — may be registered.
+	err = dispersion.RegisterErr(stubProcess{name: "collision-test-process"}, "cap")
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("alias collision: err = %v, want a descriptive duplicate error", err)
+	}
+	if _, lookupErr := dispersion.Lookup("collision-test-process"); lookupErr == nil {
+		t.Error("alias collision left the canonical name partially registered")
+	}
+
+	// A name repeated within one registration is rejected up front.
+	err = dispersion.RegisterErr(stubProcess{name: "collision-test-process"}, "collision-test-process")
+	if err == nil || !strings.Contains(err.Error(), "repeats") {
+		t.Fatalf("self-duplicate: err = %v, want a repeats error", err)
+	}
+	if _, lookupErr := dispersion.Lookup("collision-test-process"); lookupErr == nil {
+		t.Error("self-duplicate left the name registered")
+	}
+
+	if after := dispersion.Processes(); len(after) != len(before) {
+		t.Errorf("failed registrations changed Processes(): %d -> %d names", len(before), len(after))
+	}
+}
+
+// Register stays the panicking wrapper over RegisterErr.
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Register on a duplicate name did not panic")
+		}
+	}()
+	dispersion.Register(stubProcess{name: "parallel"})
+}

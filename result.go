@@ -42,6 +42,10 @@ type Result struct {
 	// Truncated reports that WithMaxSteps fired; all counts are then
 	// lower bounds.
 	Truncated bool
+	// Capacity is the per-vertex capacity the run executed under: the
+	// resolved c of a capacity process ("capacity", "capacity-parallel"),
+	// 1 for the unit-capacity processes.
+	Capacity int
 	// Time is the real time at which the last particle settled — the
 	// paper's τ_c-seq / τ_c-unif. Zero for discrete processes.
 	Time float64
@@ -67,6 +71,7 @@ func (res *Result) setCore(ct *core.CTResult, process string, continuous bool) {
 	res.SettleClock = ct.SettleClock
 	res.Trajectories = ct.Trajectories
 	res.Truncated = ct.Truncated
+	res.Capacity = ct.Capacity
 	if continuous {
 		res.Time = ct.Time
 		res.SettleTimes = ct.SettleTimes
@@ -88,6 +93,7 @@ func (res *Result) core() *core.Result {
 		SettleClock:  res.SettleClock,
 		Trajectories: res.Trajectories,
 		Truncated:    res.Truncated,
+		Capacity:     res.Capacity,
 	}
 }
 

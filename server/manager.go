@@ -65,6 +65,14 @@ type Options struct {
 	// RandomPriority resolves Parallel-process settlement conflicts by a
 	// random priority permutation (WithRandomPriority).
 	RandomPriority bool `json:"random_priority,omitempty"`
+	// SettleParam parameterizes the settle-rule processes
+	// (WithSettleParam): the per-visit settle probability of
+	// "sequential-geom", the minimum step count of
+	// "sequential-threshold". 0 leaves the process default.
+	SettleParam float64 `json:"settle_param,omitempty"`
+	// Capacity sets the per-vertex capacity of the capacity processes
+	// (WithCapacity); 0 leaves the default capacity 2.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // build renders the JSON options as functional options.
@@ -87,6 +95,12 @@ func (o Options) build() []dispersion.Option {
 	}
 	if o.RandomPriority {
 		opts = append(opts, dispersion.WithRandomPriority())
+	}
+	if o.SettleParam != 0 {
+		opts = append(opts, dispersion.WithSettleParam(o.SettleParam))
+	}
+	if o.Capacity != 0 {
+		opts = append(opts, dispersion.WithCapacity(o.Capacity))
 	}
 	return opts
 }

@@ -459,6 +459,67 @@ func TestWorkerPoolAndOptions(t *testing.T) {
 	}
 }
 
+// The variant-workload option fields (settle_param, capacity) round-trip
+// through the JSON form: a server job streams bit-identically to a direct
+// engine run with the equivalent functional options.
+func TestVariantOptionsRoundTrip(t *testing.T) {
+	ts, m := newServer(t, server.ManagerOptions{})
+	cases := []struct {
+		req  server.JobRequest
+		opts []dispersion.Option
+	}{
+		{
+			req: server.JobRequest{
+				Process: "sequential-geom", Spec: "complete:16", Trials: 6, Seed: 13,
+				Options: server.Options{SettleParam: 0.25},
+			},
+			opts: []dispersion.Option{dispersion.WithSettleParam(0.25)},
+		},
+		{
+			req: server.JobRequest{
+				Process: "capacity", Spec: "star:8", Trials: 6, Seed: 13,
+				Options: server.Options{Capacity: 3, Particles: 10},
+			},
+			opts: []dispersion.Option{dispersion.WithCapacity(3), dispersion.WithParticles(10)},
+		},
+	}
+	for _, tc := range cases {
+		st := submit(t, ts, tc.req)
+		j, _ := m.Get(st.ID)
+		if final := j.Wait(context.Background()); final.State != server.StateDone {
+			t.Fatalf("%s job finished %s: %s", tc.req.Process, final.State, final.Error)
+		}
+		got := stream(t, ts, st.ID, 0)
+
+		eng := dispersion.Engine{Seed: tc.req.Seed}
+		var want []string
+		err := eng.Run(context.Background(), dispersion.Job{
+			Process: tc.req.Process, Spec: tc.req.Spec, Trials: tc.req.Trials,
+			Options: tc.opts,
+		}, func(tr dispersion.Trial) error {
+			b, _ := json.Marshal(sink.Record{Trial: tr.Index, Result: tr.Result})
+			want = append(want, string(b))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("direct %s run: %v", tc.req.Process, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: server stream diverged from the direct engine run", tc.req.Process)
+		}
+	}
+
+	// Out-of-range parameters fail the job at run time with a clear error.
+	st := submit(t, ts, server.JobRequest{
+		Process: "sequential-geom", Spec: "complete:8", Trials: 1, Seed: 1,
+		Options: server.Options{SettleParam: 2},
+	})
+	j, _ := m.Get(st.ID)
+	if final := j.Wait(context.Background()); final.State != server.StateFailed {
+		t.Fatalf("out-of-range settle_param finished %s, want failed", final.State)
+	}
+}
+
 // Once Close has begun, submissions are rejected with ErrClosed instead
 // of racing the shutdown, and job IDs are unique across manager
 // restarts so JSONL archives are never truncated by a new run.

@@ -33,11 +33,11 @@ func ExampleNewCSV() {
 		fmt.Println(line)
 	}
 	// Output:
-	// trial,process,continuous,makespan,dispersion,total_steps,time,truncated,unsettled
-	// 0,parallel,false,188,188,1122,0,false,0
-	// 1,parallel,false,266,266,1098,0,false,0
-	// 2,parallel,false,272,272,996,0,false,0
-	// 3,parallel,false,125,125,862,0,false,0
+	// trial,process,continuous,makespan,dispersion,total_steps,time,truncated,unsettled,capacity
+	// 0,parallel,false,188,188,1122,0,false,0,1
+	// 1,parallel,false,266,266,1098,0,false,0,1
+	// 2,parallel,false,272,272,996,0,false,0,1
+	// 3,parallel,false,125,125,862,0,false,0,1
 }
 
 // JSONL is the lossless sink: ReadJSONL reproduces the full Result of

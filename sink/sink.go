@@ -65,7 +65,9 @@ func (s *JSONL) Write(t dispersion.Trial) error {
 // ReadJSONL reads back a JSONL stream written by a JSONL sink (or by the
 // dispersion server's results endpoint), returning the trials in file
 // order. Lines have no size limit: records carrying full trajectories
-// (WithRecord) can grow arbitrarily large.
+// (WithRecord) can grow arbitrarily large. Records written before the
+// Capacity field existed read back with Capacity 1, the per-vertex
+// capacity every pre-capacity process ran under (matching ReadCSV).
 func ReadJSONL(r io.Reader) ([]dispersion.Trial, error) {
 	var out []dispersion.Trial
 	br := bufio.NewReaderSize(r, 64*1024)
@@ -79,6 +81,9 @@ func ReadJSONL(r io.Reader) ([]dispersion.Trial, error) {
 			if err := json.Unmarshal(trimmed, &rec); err != nil {
 				return nil, fmt.Errorf("sink: bad JSONL record %d: %w", len(out), err)
 			}
+			if rec.Result != nil && rec.Result.Capacity == 0 {
+				rec.Result.Capacity = 1
+			}
 			out = append(out, dispersion.Trial{Index: rec.Trial, Result: rec.Result})
 		}
 		if rerr == io.EOF {
@@ -90,7 +95,7 @@ func ReadJSONL(r io.Reader) ([]dispersion.Trial, error) {
 // csvColumns is the fixed CSV header; Row fields mirror it in order.
 var csvColumns = []string{
 	"trial", "process", "continuous", "makespan",
-	"dispersion", "total_steps", "time", "truncated", "unsettled",
+	"dispersion", "total_steps", "time", "truncated", "unsettled", "capacity",
 }
 
 // Row is the scalar per-trial summary the CSV sink writes: everything a
@@ -117,6 +122,9 @@ type Row struct {
 	// Unsettled is Result.Unsettled(): particles left unsettled, nonzero
 	// only for truncated runs.
 	Unsettled int
+	// Capacity mirrors Result.Capacity: the per-vertex capacity the run
+	// executed under (1 for the unit-capacity processes).
+	Capacity int
 }
 
 // CSV writes one Row per trial under a fixed header. Call Flush after the
@@ -151,6 +159,7 @@ func (s *CSV) Write(t dispersion.Trial) error {
 		formatFloat(res.Time),
 		strconv.FormatBool(res.Truncated),
 		strconv.Itoa(res.Unsettled()),
+		strconv.Itoa(res.Capacity),
 	})
 }
 
@@ -168,9 +177,12 @@ func formatFloat(v float64) string {
 }
 
 // ReadCSV reads back a file written by a CSV sink, returning the rows in
-// file order. It validates the header.
+// file order. It validates the header. Files written before the capacity
+// column existed are still accepted: their rows read back with Capacity 1,
+// the per-vertex capacity every pre-capacity process ran under.
 func ReadCSV(r io.Reader) ([]Row, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // header length decides; parseRow validates rows
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
@@ -178,12 +190,13 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
-	if got, want := records[0], csvColumns; !slices.Equal(got, want) {
-		return nil, fmt.Errorf("sink: unexpected CSV header %q", got)
+	legacy := slices.Equal(records[0], csvColumns[:len(csvColumns)-1])
+	if !legacy && !slices.Equal(records[0], csvColumns) {
+		return nil, fmt.Errorf("sink: unexpected CSV header %q", records[0])
 	}
 	out := make([]Row, 0, len(records)-1)
 	for i, rec := range records[1:] {
-		row, err := parseRow(rec)
+		row, err := parseRow(rec, legacy)
 		if err != nil {
 			return nil, fmt.Errorf("sink: bad CSV row %d: %w", i, err)
 		}
@@ -192,9 +205,13 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 	return out, nil
 }
 
-func parseRow(rec []string) (Row, error) {
-	if len(rec) != len(csvColumns) {
-		return Row{}, fmt.Errorf("want %d fields, got %d", len(csvColumns), len(rec))
+func parseRow(rec []string, legacy bool) (Row, error) {
+	want := len(csvColumns)
+	if legacy {
+		want--
+	}
+	if len(rec) != want {
+		return Row{}, fmt.Errorf("want %d fields, got %d", want, len(rec))
 	}
 	var (
 		row Row
@@ -223,6 +240,13 @@ func parseRow(rec []string) (Row, error) {
 		return Row{}, err
 	}
 	if row.Unsettled, err = strconv.Atoi(rec[8]); err != nil {
+		return Row{}, err
+	}
+	if legacy {
+		row.Capacity = 1
+		return row, nil
+	}
+	if row.Capacity, err = strconv.Atoi(rec[9]); err != nil {
 		return Row{}, err
 	}
 	return row, nil

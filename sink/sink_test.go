@@ -46,36 +46,82 @@ func TestJSONLRoundTrip(t *testing.T) {
 
 // The CSV round trip preserves every scalar column.
 func TestCSVRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	cw := sink.NewCSV(&buf)
-	job := dispersion.Job{Process: "parallel", Spec: "complete:32", Trials: 10}
-	want := run(t, job, cw)
-	if err := cw.Flush(); err != nil {
-		t.Fatalf("Flush: %v", err)
+	for _, process := range []string{"parallel", "capacity"} {
+		var buf bytes.Buffer
+		cw := sink.NewCSV(&buf)
+		job := dispersion.Job{Process: process, Spec: "complete:32", Trials: 10}
+		want := run(t, job, cw)
+		if err := cw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		rows, err := sink.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("ReadCSV: %v", err)
+		}
+		if len(rows) != len(want) {
+			t.Fatalf("got %d rows, want %d", len(rows), len(want))
+		}
+		for i, row := range rows {
+			res := want[i].Result
+			ref := sink.Row{
+				Trial:      want[i].Index,
+				Process:    res.Process,
+				Continuous: res.Continuous,
+				Makespan:   res.Makespan(),
+				Dispersion: res.Dispersion,
+				TotalSteps: res.TotalSteps,
+				Time:       res.Time,
+				Truncated:  res.Truncated,
+				Unsettled:  res.Unsettled(),
+				Capacity:   res.Capacity,
+			}
+			if row != ref {
+				t.Errorf("%s row %d: got %+v, want %+v", process, i, row, ref)
+			}
+			wantCap := 1
+			if process == "capacity" {
+				wantCap = 2
+			}
+			if row.Capacity != wantCap {
+				t.Errorf("%s row %d: capacity column %d, want %d", process, i, row.Capacity, wantCap)
+			}
+		}
 	}
-	rows, err := sink.ReadCSV(&buf)
+}
+
+// Files written before the capacity column existed still read back, with
+// Capacity defaulted to 1.
+func TestCSVLegacyHeader(t *testing.T) {
+	legacy := "trial,process,continuous,makespan,dispersion,total_steps,time,truncated,unsettled\n" +
+		"0,parallel,false,188,188,1122,0,false,0\n" +
+		"1,sequential,false,95,95,431,0,false,0\n"
+	rows, err := sink.ReadCSV(bytes.NewReader([]byte(legacy)))
 	if err != nil {
-		t.Fatalf("ReadCSV: %v", err)
+		t.Fatalf("ReadCSV legacy: %v", err)
 	}
-	if len(rows) != len(want) {
-		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
 	}
 	for i, row := range rows {
-		res := want[i].Result
-		ref := sink.Row{
-			Trial:      want[i].Index,
-			Process:    res.Process,
-			Continuous: res.Continuous,
-			Makespan:   res.Makespan(),
-			Dispersion: res.Dispersion,
-			TotalSteps: res.TotalSteps,
-			Time:       res.Time,
-			Truncated:  res.Truncated,
-			Unsettled:  res.Unsettled(),
+		if row.Capacity != 1 {
+			t.Errorf("row %d: Capacity = %d, want the pre-capacity default 1", i, row.Capacity)
 		}
-		if row != ref {
-			t.Errorf("row %d: got %+v, want %+v", i, row, ref)
-		}
+	}
+	if rows[1].Process != "sequential" || rows[1].Dispersion != 95 {
+		t.Errorf("legacy row parsed wrong: %+v", rows[1])
+	}
+}
+
+// Pre-capacity JSONL records (no Capacity field) read back with the same
+// default 1 as legacy CSVs.
+func TestJSONLLegacyCapacity(t *testing.T) {
+	legacy := `{"trial":0,"result":{"Process":"parallel","Dispersion":7,"TotalSteps":21}}` + "\n"
+	trials, err := sink.ReadJSONL(bytes.NewReader([]byte(legacy)))
+	if err != nil {
+		t.Fatalf("ReadJSONL legacy: %v", err)
+	}
+	if len(trials) != 1 || trials[0].Result.Capacity != 1 {
+		t.Errorf("legacy record read as %+v, want Capacity 1", trials[0].Result)
 	}
 }
 

@@ -1,0 +1,216 @@
+package dispersion_test
+
+// Property tests pinning every newly registered variant process —
+// sequential-geom, sequential-threshold, capacity, capacity-parallel — to
+// the extended internal/exact solvers on small ground-truth graphs. The
+// Monte-Carlo side runs through Engine.TotalSteps, exercising the kernel +
+// scratch + result-recycling hot path end to end; checkMean (from
+// exactprop_test.go) asserts agreement within six standard errors under a
+// fixed seed. capacity-parallel has no solver of its own: its total-steps
+// law equals capacity-sequential's by the abelian (Diaconis-Fulton)
+// property, the capacity analogue of Theorem 4.1 — so both processes pin
+// to the same multiset DP.
+
+import (
+	"math"
+	"testing"
+
+	"dispersion"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+)
+
+// variantGraphs extends propGraphs with a path: its degree-one endpoints
+// exercise the no-draw step of every kernel and the solvers' handling of
+// strongly non-uniform harmonic measures.
+func variantGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete-5", graph.Complete(5)},
+		{"star-5", graph.Star(5)},
+		{"path-4", graph.Path(4)},
+	}
+}
+
+// exactSeqVariant computes the exact E[TotalSteps] of a Sequential-process
+// variant, failing the test on solver errors.
+func exactSeqVariant(t *testing.T, g *graph.Graph, v exact.SeqVariant) float64 {
+	t.Helper()
+	want, err := exact.SeqExpectedTotalSteps(g, 0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestExactPropertyGeom(t *testing.T) {
+	for _, tc := range variantGraphs() {
+		// The explicit parameter and the documented default q = 1/2.
+		for _, q := range []float64{0.7, 0} {
+			rule := exact.Rule{Kind: exact.RuleGeom, Q: q}
+			var opts []dispersion.Option
+			if q == 0 {
+				rule.Q = 0.5
+			} else {
+				opts = append(opts, dispersion.WithSettleParam(q))
+			}
+			want := exactSeqVariant(t, tc.g, exact.SeqVariant{Rule: rule})
+			mean, se := sampleTotalSteps(t, dispersion.Job{
+				Process: "sequential-geom", Graph: tc.g, Trials: propTrials, Options: opts,
+			}, 211)
+			checkMean(t, tc.name+"/geom", mean, se, want)
+		}
+	}
+}
+
+func TestExactPropertyThreshold(t *testing.T) {
+	for _, tc := range variantGraphs() {
+		// The explicit parameter and the documented default T = n.
+		for _, T := range []int{3, 0} {
+			rule := exact.Rule{Kind: exact.RuleThreshold, T: T}
+			var opts []dispersion.Option
+			if T == 0 {
+				rule.T = tc.g.N()
+			} else {
+				opts = append(opts, dispersion.WithSettleParam(float64(T)))
+			}
+			want := exactSeqVariant(t, tc.g, exact.SeqVariant{Rule: rule})
+			mean, se := sampleTotalSteps(t, dispersion.Job{
+				Process: "sequential-threshold", Graph: tc.g, Trials: propTrials, Options: opts,
+			}, 223)
+			checkMean(t, tc.name+"/threshold", mean, se, want)
+		}
+	}
+}
+
+// The settle-rule processes compose with the existing variant options.
+// Note laziness does NOT simply double a geom run the way it doubles the
+// standard process: a lazy stay on a vacant vertex is a fresh standing
+// visit and draws a fresh acceptance coin, so the solver models the lazy
+// tick chain directly (Rule.Lazy) instead of rescaling.
+func TestExactPropertyGeomComposed(t *testing.T) {
+	g := graph.Complete(5)
+	want := exactSeqVariant(t, g, exact.SeqVariant{
+		Rule:      exact.Rule{Kind: exact.RuleGeom, Q: 0.5, Lazy: true},
+		Particles: 3,
+	})
+	mean, se := sampleTotalSteps(t, dispersion.Job{
+		Process: "lazy-sequential-geom", Graph: g, Trials: propTrials,
+		Options: []dispersion.Option{dispersion.WithParticles(3)},
+	}, 227)
+	checkMean(t, "complete-5/lazy-geom-particles", mean, se, want)
+}
+
+func TestExactPropertyCapacity(t *testing.T) {
+	for _, tc := range variantGraphs() {
+		// The default capacity (c = 2, k = 2n) and an explicit c = 3 with
+		// a partial load.
+		for _, cfg := range []struct {
+			name string
+			c, k int
+			opts []dispersion.Option
+		}{
+			{"default", 2, 0, nil},
+			{"c3-partial", 3, 2 * tc.g.N(), []dispersion.Option{
+				dispersion.WithCapacity(3), dispersion.WithParticles(2 * tc.g.N()),
+			}},
+		} {
+			want, err := exact.CapacityExpectedTotalSteps(tc.g, 0, cfg.c, cfg.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean, se := sampleTotalSteps(t, dispersion.Job{
+				Process: "capacity", Graph: tc.g, Trials: propTrials, Options: cfg.opts,
+			}, 229)
+			checkMean(t, tc.name+"/capacity-"+cfg.name, mean, se, want)
+		}
+	}
+}
+
+// capacity-parallel pins to the capacity-sequential DP through the abelian
+// total-steps identity (the capacity analogue of Theorem 4.1).
+func TestExactPropertyCapacityParallel(t *testing.T) {
+	for _, tc := range variantGraphs() {
+		want, err := exact.CapacityExpectedTotalSteps(tc.g, 0, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, se := sampleTotalSteps(t, dispersion.Job{
+			Process: "capacity-parallel", Graph: tc.g, Trials: propTrials,
+		}, 233)
+		checkMean(t, tc.name+"/capacity-parallel", mean, se, want)
+
+		// RandomPriority permutes conflict resolution but cannot change
+		// the abelian total-steps law.
+		meanRP, seRP := sampleTotalSteps(t, dispersion.Job{
+			Process: "capacity-parallel", Graph: tc.g, Trials: propTrials,
+			Options: []dispersion.Option{dispersion.WithRandomPriority()},
+		}, 239)
+		checkMean(t, tc.name+"/capacity-parallel-rp", meanRP, seRP, want)
+	}
+}
+
+// The one-shot wrappers and registry variants agree with the *Into forms
+// the engine drives: same stream, same results.
+func TestVariantRegistryMatchesCore(t *testing.T) {
+	g := graph.Star(6)
+	for _, name := range []string{
+		"sequential-geom", "sequential-threshold", "capacity", "capacity-parallel",
+	} {
+		a, err := dispersion.Run(name, g, 0, 41, dispersion.WithRecord())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := dispersion.Run(name, g, 0, 41, dispersion.WithRecord())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Dispersion != b.Dispersion || a.TotalSteps != b.TotalSteps {
+			t.Errorf("%s: same seed diverged", name)
+		}
+		if err := a.Check(g); err != nil {
+			t.Errorf("%s: invariant check: %v", name, err)
+		}
+		wantCap := 1
+		if name == "capacity" || name == "capacity-parallel" {
+			wantCap = 2
+		}
+		if a.Capacity != wantCap {
+			t.Errorf("%s: Capacity = %d, want %d", name, a.Capacity, wantCap)
+		}
+	}
+}
+
+// Option validation of the new processes.
+func TestVariantOptionErrors(t *testing.T) {
+	g := graph.Complete(4)
+	cases := []struct {
+		name string
+		proc string
+		opts []dispersion.Option
+	}{
+		{"geom q>1", "sequential-geom", []dispersion.Option{dispersion.WithSettleParam(1.5)}},
+		{"geom q<0", "sequential-geom", []dispersion.Option{dispersion.WithSettleParam(-0.5)}},
+		{"geom NaN", "sequential-geom", []dispersion.Option{dispersion.WithSettleParam(math.NaN())}},
+		{"threshold negative", "sequential-threshold", []dispersion.Option{dispersion.WithSettleParam(-3)}},
+		{"threshold NaN", "sequential-threshold", []dispersion.Option{dispersion.WithSettleParam(math.NaN())}},
+		{"threshold +Inf", "sequential-threshold", []dispersion.Option{dispersion.WithSettleParam(math.Inf(1))}},
+		{"capacity negative", "capacity", []dispersion.Option{dispersion.WithCapacity(-1)}},
+		{"capacity overload", "capacity", []dispersion.Option{
+			dispersion.WithCapacity(2), dispersion.WithParticles(9),
+		}},
+		{"capacity-parallel overload", "capacity-parallel", []dispersion.Option{
+			dispersion.WithParticles(100),
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := dispersion.Run(tc.proc, g, 0, 1, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
