@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dispersion"
+	"dispersion/agg"
 	"dispersion/internal/bench"
 	"dispersion/internal/block"
 	"dispersion/internal/core"
@@ -365,6 +366,76 @@ func BenchmarkEngineCliqueCapacityPar(b *testing.B) {
 
 func BenchmarkEngineTorus3DCapacity(b *testing.B) {
 	benchEngineTrials(b, "capacity", "torus:8x8x8")
+}
+
+// --- Aggregation overhead (the agg sketches on the engine hot path) ---
+
+// benchEngineSummary is benchEngineTrials with an agg.Summary folded on
+// every trial; the delta against the matching raw-callback benchmark is
+// the full per-trial cost of streaming aggregation (three sketch Adds
+// plus the tallies). ReuseResults stays on: the summary reads only
+// scalars, which is exactly the contract the server's summary_only path
+// relies on.
+func benchEngineSummary(b *testing.B, process, spec string) {
+	b.Helper()
+	eng := dispersion.Engine{Seed: 1, ReuseResults: true}
+	sum := agg.NewSummary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := eng.Run(context.Background(), dispersion.Job{
+		Process: process, Spec: spec, Trials: b.N,
+	}, func(t dispersion.Trial) error {
+		sum.Add(t.Result)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.Trials != int64(b.N) {
+		b.Fatalf("summary folded %d trials, want %d", sum.Trials, b.N)
+	}
+}
+
+func BenchmarkEngineCliqueSeqSummary(b *testing.B) {
+	benchEngineSummary(b, "sequential", "complete:512")
+}
+
+func BenchmarkEngineCycleSeqSummary(b *testing.B) {
+	benchEngineSummary(b, "sequential", "cycle:128")
+}
+
+// BenchmarkSummaryAdd isolates one Summary.Add from the engine: the
+// per-value cost of the exact-sum moments, the quantile sketch, and the
+// histogram together.
+func BenchmarkSummaryAdd(b *testing.B) {
+	res := &dispersion.Result{Process: "sequential", Dispersion: 2219, TotalSteps: 40000}
+	sum := agg.NewSummary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Dispersion = int64(1000 + i%2000) // spread across sketch buckets
+		sum.Add(res)
+	}
+}
+
+// BenchmarkSummaryMerge measures folding one populated shard summary
+// into an accumulating one — the coordinator's per-shard cost in
+// sketch-merge mode.
+func BenchmarkSummaryMerge(b *testing.B) {
+	shard := agg.NewSummary()
+	res := &dispersion.Result{Process: "sequential"}
+	for i := 0; i < 10000; i++ {
+		res.Dispersion = int64(1000 + i%2000)
+		shard.Add(res)
+	}
+	acc := agg.NewSummary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := acc.Merge(shard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCTUHeapVsRounds ablates the event-heap continuous-time engine

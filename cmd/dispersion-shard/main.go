@@ -23,6 +23,15 @@
 // -jsonl additionally writes the merged records to a separate file (or
 // "-" for stdout); a summary with the trial count and mean dispersion
 // time is always printed.
+//
+// With -summary FILE the coordinator switches to sketch-merge mode
+// (shard.Coordinator.RunSummary): shards run server-side as
+// summary_only jobs, only their kilobyte agg.Summary sketches cross
+// the network, and the merged summary — byte-identical to a contiguous
+// run's — is written to FILE ("-" = stdout). Per-trial output (-jsonl)
+// is unavailable in this mode; -checkpoint logs completed shard
+// summaries instead of results, and resuming recomputes only the
+// missing shards.
 package main
 
 import (
@@ -67,12 +76,16 @@ func main() {
 			"settle-rule parameter: geom's settle probability, thresh's minimum steps (0 = process default)")
 		capacity = flag.Int("capacity", 0, "per-vertex capacity of the capacity processes (0 = default 2)")
 
-		jsonlPath = flag.String("jsonl", "", `write merged per-trial records as JSONL to this file ("-" = stdout)`)
+		jsonlPath   = flag.String("jsonl", "", `write merged per-trial records as JSONL to this file ("-" = stdout)`)
+		summaryPath = flag.String("summary", "", `sketch-merge mode: write the merged agg.Summary JSON to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
 	if *servers == "" {
 		fatal(fmt.Errorf("-servers is required (comma-separated base URLs)"))
+	}
+	if *summaryPath != "" && *jsonlPath != "" {
+		fatal(fmt.Errorf("-summary runs summary_only jobs that keep no per-trial results; drop -jsonl"))
 	}
 	var urls []string
 	for _, u := range strings.Split(*servers, ",") {
@@ -131,6 +144,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *summaryPath != "" {
+		runSummaryMode(ctx, coord, req, *summaryPath, len(urls))
+		return
+	}
+
 	var sum float64
 	n := 0
 	err = coord.Run(ctx, req, func(t dispersion.Trial) error {
@@ -160,6 +178,33 @@ func main() {
 	fmt.Printf("%s on %s: %d trials [%d,%d) over %d servers, mean makespan %.6g\n",
 		req.Process, req.Spec, n, req.FirstTrial, req.FirstTrial+req.Trials,
 		len(urls), sum/float64(n))
+}
+
+// runSummaryMode executes the sketch-merge path: merge per-shard
+// summaries and write the combined summary JSON.
+func runSummaryMode(ctx context.Context, coord *shard.Coordinator, req server.JobRequest, path string, servers int) {
+	sum, err := coord.RunSummary(ctx, req)
+	if err != nil {
+		if coord.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "dispersion-shard: completed shard summaries are durable in %s; rerun to resume\n", coord.Checkpoint)
+		}
+		fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sink.WriteSummary(out, sum); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s on %s: %d trials [%d,%d) over %d servers, mean makespan %.6g\n",
+		req.Process, req.Spec, sum.Trials, req.FirstTrial, req.FirstTrial+req.Trials,
+		servers, sum.Makespan.Moments.Mean())
 }
 
 // fatal prints the error and exits non-zero.

@@ -10,6 +10,7 @@
 //	dispersion -graph torus:16x16 -process cap -capacity 4 -trials 200
 //	dispersion -graph hair:96 -process thresh -settle-param 1500 -trials 50
 //	dispersion -graph complete:256 -trials 1000 -csv trials.csv -jsonl trials.jsonl
+//	dispersion -graph complete:256 -trials 100000 -summary summary.json
 //
 // Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
 // lollipop:N hair:N pimple:N,H treepath:LEVELS,PATHLEN grid:AxB torus:AxB
@@ -44,9 +45,10 @@ func main() {
 			"settle-rule parameter: geom's settle probability, thresh's minimum steps (0 = process default)")
 		capacity = flag.Int("capacity", 0,
 			"per-vertex capacity of the capacity processes (0 = default 2)")
-		csvPath   = flag.String("csv", "", "write per-trial scalar rows as CSV to this file")
-		jsonlPath = flag.String("jsonl", "", "write full per-trial results as JSONL to this file")
-		quiet     = flag.Bool("q", false, "print only the mean dispersion time")
+		csvPath     = flag.String("csv", "", "write per-trial scalar rows as CSV to this file")
+		jsonlPath   = flag.String("jsonl", "", "write full per-trial results as JSONL to this file")
+		summaryPath = flag.String("summary", "", `write the mergeable agg.Summary JSON to this file ("-" = stdout)`)
+		quiet       = flag.Bool("q", false, "print only the mean dispersion time")
 	)
 	flag.Parse()
 
@@ -104,6 +106,11 @@ func main() {
 		defer f.Close()
 		sel.open(f)
 	}
+	var aggregator *sink.Aggregator
+	if *summaryPath != "" {
+		aggregator = sink.NewAggregator()
+		writers = append(writers, aggregator)
+	}
 	each := sink.Tee(writers...)
 
 	xs := make([]float64, 0, *trials)
@@ -127,6 +134,20 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if aggregator != nil {
+		out := os.Stdout
+		if *summaryPath != "-" {
+			f, err := os.Create(*summaryPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := sink.WriteSummary(out, aggregator.Summary()); err != nil {
+			fatal(err)
+		}
 	}
 
 	s := stats.Summarize(xs)

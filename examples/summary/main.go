@@ -1,0 +1,195 @@
+// Command summary demonstrates the streaming-aggregation subsystem end
+// to end: a summary_only job runs on an in-process dispersion server —
+// buffering no per-trial results at all — its kilobyte agg.Summary is
+// fetched over HTTP, and its mean and quantiles are checked against an
+// offline statistics pass over the identical trial set (recomputed
+// locally; the engine's determinism makes the two runs the same
+// multiset). It then merges per-shard summaries through
+// shard.Coordinator.RunSummary and shows the merge is byte-identical
+// to the contiguous job's summary.
+//
+// It runs standalone:
+//
+//	go run ./examples/summary
+//
+// Point it at a real server to exercise the network path:
+//
+//	go run ./cmd/dispersion-server -addr :8080 &
+//	go run ./examples/summary -server http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"dispersion"
+	"dispersion/agg"
+	"dispersion/server"
+	"dispersion/shard"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "", "dispersion-server base URL (empty: one in-process server)")
+		graph     = flag.String("graph", "complete:64", "graph family spec")
+		process   = flag.String("process", "sequential", "process to run")
+		trials    = flag.Int("trials", 2000, "number of trials")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	base := *serverURL
+	if base == "" {
+		m := server.NewManager(server.ManagerOptions{})
+		defer m.Close()
+		ts := httptest.NewServer(server.New(m))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Println("using one in-process server")
+	}
+
+	req := server.JobRequest{
+		Process:     *process,
+		Spec:        *graph,
+		Trials:      *trials,
+		Seed:        *seed,
+		SummaryOnly: true,
+	}
+
+	// 1. Submit the summary_only job and fetch its final summary with a
+	// single long-poll; no per-trial line ever crosses the wire.
+	st := submit(base, req)
+	fmt.Printf("submitted summary_only job %s: %s on %s, %d trials\n", st.ID, req.Process, req.Spec, req.Trials)
+	sr := fetchSummary(base, st.ID)
+	if sr.State != server.StateDone {
+		log.Fatalf("job ended %s", sr.State)
+	}
+	var sum agg.Summary
+	if err := json.Unmarshal(sr.Summary, &sum); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary: %d bytes for %d trials (mean %.4g, q50 %.4g, q99 %.4g, max %.4g)\n",
+		len(sr.Summary), sum.Trials,
+		sum.Makespan.Moments.Mean(),
+		sum.Makespan.Quantiles.Query(0.5),
+		sum.Makespan.Quantiles.Query(0.99),
+		sum.Makespan.Moments.Max())
+
+	// 2. The results endpoint has nothing: summary_only jobs never
+	// buffer, by design.
+	resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("results endpoint answers %d (Gone): the job kept no per-trial results\n", resp.StatusCode)
+
+	// 3. Check against an offline pass over the identical trial set,
+	// recomputed locally — trial i is a pure function of (seed,
+	// experiment, i), so this is the same multiset the server folded.
+	makespans := recompute(req)
+	sort.Float64s(makespans)
+	var s float64
+	for _, m := range makespans {
+		s += m
+	}
+	mean := s / float64(len(makespans))
+	q50 := makespans[(len(makespans)-1)/2]
+	fmt.Printf("offline:  mean %.6g vs sketch %.6g (exact)\n", mean, sum.Makespan.Moments.Mean())
+	fmt.Printf("          q50  %.6g vs sketch %.6g (within %.0f%%)\n", q50, sum.Makespan.Quantiles.Query(0.5), 100*sum.Makespan.Quantiles.Alpha())
+	edge := 4 * sum.Makespan.Histogram.Width()
+	below := 0
+	for _, m := range makespans {
+		if m < edge {
+			below++
+		}
+	}
+	fmt.Printf("          CDF(%.0f) %.4f vs sketch %.4f (exact at bucket edges)\n",
+		edge, float64(below)/float64(len(makespans)), sum.Makespan.Histogram.CDF(edge))
+
+	// 4. Shard the same logical job and merge the per-shard sketches:
+	// the merged summary is byte-identical to the contiguous one.
+	coord := &shard.Coordinator{Servers: []string{base}, Shards: 4}
+	merged, err := coord.RunSummary(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mergedJSON, err := json.Marshal(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The HTTP response is indented; compare both in canonical compact
+	// marshaling.
+	contiguousJSON, err := json.Marshal(&sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(mergedJSON, contiguousJSON) {
+		log.Fatal("FAIL: merged shard summaries differ from the contiguous job's summary")
+	}
+	fmt.Println("4-shard merged summary is byte-identical to the contiguous job's summary")
+}
+
+// submit POSTs the job and decodes its status.
+func submit(base string, req server.JobRequest) server.Status {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// fetchSummary long-polls the job's summary endpoint until terminal.
+func fetchSummary(base, id string) server.SummaryResponse {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/summary?wait=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("summary: HTTP %d", resp.StatusCode)
+	}
+	var sr server.SummaryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		log.Fatal(err)
+	}
+	return sr
+}
+
+// recompute reruns the job locally and collects per-trial makespans.
+func recompute(req server.JobRequest) []float64 {
+	eng := dispersion.Engine{Seed: req.Seed, Experiment: req.Experiment, ReuseResults: true}
+	out := make([]float64, 0, req.Trials)
+	err := eng.Run(context.Background(), dispersion.Job{
+		Process: req.Process,
+		Spec:    req.Spec,
+		Origin:  req.Origin,
+		Trials:  req.Trials,
+	}, func(t dispersion.Trial) error {
+		out = append(out, t.Result.Makespan())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

@@ -71,10 +71,17 @@ func (s Summary) String() string {
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of an already sorted
-// sample using linear interpolation.
+// sample using linear interpolation at position q·(n-1). The input MUST
+// be in ascending order — Quantile is the offline oracle that the
+// mergeable sketches in package agg are tested against, so a silently
+// wrong answer on unsorted data would corrupt every accuracy bound
+// downstream. It panics on an empty or unsorted sample.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: empty sample")
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		panic("stats: Quantile input is not sorted")
 	}
 	if q <= 0 {
 		return sorted[0]

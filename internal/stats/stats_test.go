@@ -60,6 +60,15 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile accepted an unsorted sample")
+		}
+	}()
+	Quantile([]float64{3, 1, 2}, 0.5)
+}
+
 func TestECDFBasics(t *testing.T) {
 	e := NewECDF([]float64{1, 2, 2, 3})
 	cases := []struct{ x, want float64 }{

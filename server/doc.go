@@ -15,10 +15,14 @@
 //     POST   /v1/jobs              submit a job (JSON body), returns its status
 //     GET    /v1/jobs              list all job statuses
 //     GET    /v1/jobs/{id}         poll one job's status and progress
+//     GET    /v1/jobs/{id}/summary streaming aggregate (agg.Summary); ?wait=1 blocks until terminal
 //     GET    /v1/jobs/{id}/results stream results as NDJSON; ?from=K resumes at line K
 //     DELETE /v1/jobs/{id}         cancel a job
 //     GET    /v1/processes         registered processes and graph-spec kinds
 //     GET    /healthz              liveness probe
+//
+//     The status and results routes also accept ?view=summary, answering
+//     the summary endpoint's body in place of their own.
 //
 // Every NDJSON line is a sink.Record: {"trial": i, "result": {...}}.
 // Results are bit-for-bit identical to a direct Engine.Run with the same
@@ -43,4 +47,20 @@
 // ManagerOptions.EvictConsumed, which drops a job's buffer once it is
 // terminal and its stream has been consumed through the final trial —
 // re-reads of an evicted range then answer 410 Gone.
+//
+// # Summaries and eviction
+//
+// Independently of result buffering, every job folds each completed
+// trial into a mergeable agg.Summary (moments, quantile sketch and
+// makespan histogram over Makespan and TotalSteps) under the job lock.
+// The summary is O(sketch) — kilobytes regardless of Trials — and is
+// deliberately NOT dropped by EvictConsumed: after eviction the raw
+// trials answer 410 Gone while the summary endpoint keeps serving, and
+// Status.SummaryAvailable distinguishes "buffer evicted, aggregate
+// still readable" from "nothing left". Jobs submitted with
+// summary_only never buffer (or archive) results at all: the engine
+// recycles Result memory between trials, the results endpoint answers
+// 410 Gone from the start, and resident memory stays O(sketch) for
+// arbitrarily large Trials — the mode built for million-trial runs
+// that only need E[T], quantiles and the makespan CDF.
 package server

@@ -26,6 +26,7 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/summary", s.summary)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/processes", s.processes)
@@ -98,13 +99,65 @@ func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.List())
 }
 
-// status handles GET /v1/jobs/{id}.
+// status handles GET /v1/jobs/{id}. With ?view=summary it answers the
+// summary endpoint's body instead of the plain status.
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
 	}
+	if r.URL.Query().Get("view") == "summary" {
+		s.writeSummary(w, r, j)
+		return
+	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// SummaryResponse is the body of GET /v1/jobs/{id}/summary (and of
+// ?view=summary): the job's streaming aggregate plus enough status to
+// interpret it.
+type SummaryResponse struct {
+	// ID is the job identifier; State its lifecycle state at snapshot
+	// time.
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Completed is the number of trials folded into Summary — the two
+	// are snapshotted atomically, so Summary covers exactly the first
+	// Completed trials.
+	Completed int `json:"completed"`
+	// Summary is the agg.Summary JSON. Its rendering is canonical:
+	// merged shard summaries over the same trial multiset are
+	// byte-identical to a contiguous run's.
+	Summary json.RawMessage `json:"summary"`
+}
+
+// summary handles GET /v1/jobs/{id}/summary: the job's streaming
+// aggregate, available while the job runs (covering the trials
+// completed so far), after it finishes, and — unlike the results
+// buffer — after eviction. With ?wait=1 the request first blocks until
+// the job reaches a terminal state, so one round trip fetches a final
+// summary.
+func (s *Server) summary(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.writeSummary(w, r, j)
+}
+
+// writeSummary renders a job's summary snapshot, honouring ?wait=1.
+func (s *Server) writeSummary(w http.ResponseWriter, r *http.Request, j *Job) {
+	if r.URL.Query().Get("wait") == "1" {
+		j.Wait(r.Context())
+	}
+	b, st, err := j.SummaryJSON()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "marshal summary: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SummaryResponse{
+		ID: st.ID, State: st.State, Completed: st.Completed, Summary: b,
+	})
 }
 
 // cancel handles DELETE /v1/jobs/{id}. Cancellation is idempotent: the
@@ -142,10 +195,22 @@ const TrailerJobState = "X-Job-State"
 //
 // On a manager with EvictConsumed set, a fully consumed terminal job's
 // buffer is dropped; re-reading lines below Completed then answers
-// 410 Gone instead of silently serving an empty stream.
+// 410 Gone instead of silently serving an empty stream. Summary-only
+// jobs never buffer results at all and answer 410 immediately; their
+// aggregate is at the summary endpoint (also reachable here as
+// ?view=summary).
 func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
+		return
+	}
+	if r.URL.Query().Get("view") == "summary" {
+		s.writeSummary(w, r, j)
+		return
+	}
+	if j.Status().Request.SummaryOnly {
+		fail(w, http.StatusGone,
+			"job runs summary_only and buffers no results; GET /v1/jobs/%s/summary instead", j.ID())
 		return
 	}
 	from := 0

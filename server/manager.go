@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"dispersion"
+	"dispersion/agg"
 	"dispersion/sink"
 )
 
@@ -41,6 +43,14 @@ type JobRequest struct {
 	Seed uint64 `json:"seed"`
 	// Experiment namespaces the trial streams (dispersion.Engine.Experiment).
 	Experiment uint64 `json:"experiment"`
+	// SummaryOnly skips result buffering (and archiving) entirely: the
+	// job folds every trial into its agg.Summary and keeps nothing else,
+	// so resident memory is O(sketch) no matter how many trials run. The
+	// results endpoint answers 410 Gone; read the summary endpoint
+	// instead. The engine recycles Result memory between trials
+	// (dispersion.Engine.ReuseResults), making the per-trial hot path
+	// allocation-free.
+	SummaryOnly bool `json:"summary_only,omitempty"`
 	// Options configure every trial identically.
 	Options Options `json:"options"`
 }
@@ -157,8 +167,15 @@ type Status struct {
 	// the job reached a terminal state and its stream was fully consumed
 	// (ManagerOptions.EvictConsumed). Further result reads below
 	// Completed answer 410 Gone; a configured ResultsDir archive still
-	// holds every trial.
+	// holds every trial — and the job's summary survives eviction, so
+	// aggregate statistics stay readable (see SummaryAvailable).
 	Evicted bool `json:"evicted,omitempty"`
+	// SummaryAvailable reports that the job's streaming aggregate can be
+	// read from the summary endpoint. Every job aggregates as results
+	// arrive, so this is true from the first completed trial on — and it
+	// stays true after Evicted drops the result buffer: eviction frees
+	// O(trials) result memory but never the O(sketch) summary.
+	SummaryAvailable bool `json:"summary_available,omitempty"`
 	// Error is the failure message for StateFailed jobs.
 	Error string `json:"error,omitempty"`
 	// SubmittedAt, StartedAt and FinishedAt track the lifecycle; the
@@ -171,17 +188,19 @@ type Status struct {
 // Job is one managed submission. All methods are safe for concurrent use;
 // reads take point-in-time snapshots.
 type Job struct {
-	id     string
-	req    JobRequest
-	cancel context.CancelFunc
-	evict  bool // ManagerOptions.EvictConsumed, frozen at submit
+	id          string
+	req         JobRequest
+	cancel      context.CancelFunc
+	evict       bool // ManagerOptions.EvictConsumed, frozen at submit
+	summaryOnly bool // JobRequest.SummaryOnly, frozen at submit
 
 	mu        sync.Mutex
 	notify    chan struct{} // closed and replaced on every append / state change
 	results   []*dispersion.Result
-	count     int // trials completed, surviving buffer eviction
-	consumed  int // high-water mark of results delivered via Next
-	retained  int // active results consumers (Retain/Release)
+	summary   *agg.Summary // fold-as-you-go aggregate, survives eviction
+	count     int          // trials completed, surviving buffer eviction
+	consumed  int          // high-water mark of results delivered via Next
+	retained  int          // active results consumers (Retain/Release)
 	evicted   bool
 	state     State
 	errMsg    string
@@ -197,17 +216,23 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds a status snapshot. Callers must hold j.mu.
+func (j *Job) statusLocked() Status {
 	return Status{
-		ID:          j.id,
-		State:       j.state,
-		Request:     j.req,
-		Completed:   j.count,
-		Resident:    len(j.results),
-		Evicted:     j.evicted,
-		Error:       j.errMsg,
-		SubmittedAt: j.submitted,
-		StartedAt:   j.started,
-		FinishedAt:  j.finished,
+		ID:               j.id,
+		State:            j.state,
+		Request:          j.req,
+		Completed:        j.count,
+		Resident:         len(j.results),
+		Evicted:          j.evicted,
+		SummaryAvailable: j.count > 0,
+		Error:            j.errMsg,
+		SubmittedAt:      j.submitted,
+		StartedAt:        j.started,
+		FinishedAt:       j.finished,
 	}
 }
 
@@ -221,13 +246,29 @@ func (j *Job) broadcast() {
 	j.notify = make(chan struct{})
 }
 
-// append records one completed trial, in order.
+// append records one completed trial, in order: the result is folded
+// into the job's summary and, unless the job is summary-only, buffered
+// for the results stream. Summary-only jobs run under
+// Engine.ReuseResults, so res must not be retained for them.
 func (j *Job) append(res *dispersion.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.results = append(j.results, res)
+	j.summary.Add(res)
+	if !j.summaryOnly {
+		j.results = append(j.results, res)
+	}
 	j.count++
 	j.broadcast()
+}
+
+// SummaryJSON marshals the job's streaming aggregate atomically with a
+// status snapshot, so the returned completed-trials count is exactly
+// the number of results folded into the returned bytes.
+func (j *Job) SummaryJSON() ([]byte, Status, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, err := json.Marshal(j.summary)
+	return b, j.statusLocked(), err
 }
 
 // Retain registers an active results consumer (a streaming request).
@@ -425,12 +466,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		req:       req,
-		cancel:    cancel,
-		evict:     m.opts.EvictConsumed,
-		notify:    make(chan struct{}),
-		state:     StateQueued,
-		submitted: time.Now(),
+		req:         req,
+		cancel:      cancel,
+		evict:       m.opts.EvictConsumed,
+		summaryOnly: req.SummaryOnly,
+		notify:      make(chan struct{}),
+		summary:     agg.NewSummary(),
+		state:       StateQueued,
+		submitted:   time.Now(),
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -505,7 +548,7 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 
 	each := j.appendEach()
 	var archive *os.File
-	if m.opts.ResultsDir != "" {
+	if m.opts.ResultsDir != "" && !j.summaryOnly {
 		f, err := os.Create(filepath.Join(m.opts.ResultsDir, j.id+".jsonl"))
 		if err != nil {
 			j.setState(StateFailed, err.Error())
@@ -519,6 +562,9 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		Seed:       j.req.Seed,
 		Experiment: j.req.Experiment,
 		Workers:    m.opts.EngineWorkers,
+		// A summary-only job retains nothing per trial — the fold reads
+		// scalars only — so the engine can recycle Result memory.
+		ReuseResults: j.summaryOnly,
 	}
 	err := eng.Run(ctx, j.req.job(), each)
 	// Close the archive before the terminal-state transition: a close

@@ -26,6 +26,10 @@
 // coordinator resumes exactly where it stopped: on the next Run the log
 // is replayed to the callback from disk and only the remaining trial
 // range is resubmitted.
+//
+// RunSummary is the sketch-merge mode: shards run as summary_only jobs,
+// only their agg.Summary sketches cross the network, and the merged
+// summary is byte-identical to a contiguous run's — see RunSummary.
 package shard
 
 import (

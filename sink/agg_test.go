@@ -1,0 +1,93 @@
+package sink_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"dispersion"
+	"dispersion/agg"
+	"dispersion/sink"
+)
+
+// The Aggregator must produce the same summary whether it rides a
+// normal run or a reuse-results run, and its statistics must agree with
+// an offline pass over the identical trial set.
+func TestAggregatorMatchesOfflineStats(t *testing.T) {
+	job := dispersion.Job{Process: "sequential", Spec: "complete:16", Trials: 200}
+	ag := sink.NewAggregator()
+	trials := run(t, job, ag)
+	s := ag.Summary()
+
+	if s.Trials != int64(len(trials)) || s.Process != "sequential" {
+		t.Fatalf("summary identity: %q over %d trials, want sequential over %d", s.Process, s.Trials, len(trials))
+	}
+	makespans := make([]float64, len(trials))
+	var totals float64
+	for i, tr := range trials {
+		makespans[i] = tr.Result.Makespan()
+		totals += float64(tr.Result.TotalSteps)
+	}
+	sort.Float64s(makespans)
+	var sum float64
+	for _, m := range makespans {
+		sum += m
+	}
+	mean := sum / float64(len(makespans))
+	if math.Abs(s.Makespan.Moments.Mean()-mean) > 1e-9*mean {
+		t.Errorf("makespan mean %v, offline %v", s.Makespan.Moments.Mean(), mean)
+	}
+	if got := s.TotalSteps.Moments.Sum(); got != totals {
+		t.Errorf("total-steps sum %v, offline %v", got, totals)
+	}
+	q50 := s.Makespan.Quantiles.Query(0.5)
+	wantQ50 := makespans[99]
+	if math.Abs(q50-wantQ50) > 2*agg.DefaultAlpha*wantQ50 {
+		t.Errorf("q50 %v far from offline %v", q50, wantQ50)
+	}
+
+	// The same job under ReuseResults must fold to byte-identical state:
+	// the aggregator reads scalars only and retains nothing.
+	reuse := sink.NewAggregator()
+	eng := dispersion.Engine{Seed: 11, Experiment: 5, ReuseResults: true}
+	if err := eng.Run(context.Background(), job, sink.Tee(reuse)); err != nil {
+		t.Fatalf("Engine.Run(reuse): %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := sink.WriteSummary(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSummary(&b, reuse.Summary()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("reuse-results summary differs from ownership-transfer summary")
+	}
+}
+
+func TestSummaryFileRoundTrip(t *testing.T) {
+	ag := sink.NewAggregatorWith(agg.Config{Alpha: 0.02})
+	run(t, dispersion.Job{Process: "parallel", Spec: "star:12", Trials: 20}, ag)
+
+	var buf bytes.Buffer
+	if err := sink.WriteSummary(&buf, ag.Summary()); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := sink.ReadSummary(&buf)
+	if err != nil {
+		t.Fatalf("ReadSummary: %v", err)
+	}
+	var again bytes.Buffer
+	if err := sink.WriteSummary(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Errorf("summary file round trip changed the bytes:\n%s\n%s", first, again.Bytes())
+	}
+	if _, err := sink.ReadSummary(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("ReadSummary accepted truncated JSON")
+	}
+}

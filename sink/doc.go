@@ -14,6 +14,12 @@
 //     (per-particle steps, trajectories) are not representable in CSV and
 //     are dropped.
 //
+// A third sink keeps nothing per trial: Aggregator folds each Result
+// into a mergeable agg.Summary (moments, quantile sketch, makespan
+// histogram), so arbitrarily long runs retain kilobytes. It is the only
+// sink safe under Engine.ReuseResults. WriteSummary and ReadSummary
+// persist summaries as JSON.
+//
 // Writers implement the one-method Writer interface; Tee fans a single
 // Engine.Run callback out to any number of them:
 //

@@ -1,0 +1,187 @@
+package dispersion_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"dispersion"
+	"dispersion/agg"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+	"dispersion/internal/stats"
+)
+
+// foldSummary runs one job and folds every trial into a fresh
+// agg.Summary, returning the summary and its canonical (compact) JSON.
+func foldSummary(t *testing.T, eng dispersion.Engine, job dispersion.Job) (*agg.Summary, []byte) {
+	t.Helper()
+	s := agg.NewSummary()
+	err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+		s.Add(tr.Result)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Engine.Run: %v", err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	return s, b
+}
+
+// TestShardSummariesMatchContiguous is the aggregation property test:
+// for every registered process, folding each FirstTrial shard into its
+// own agg.Summary and merging — in shard order or reversed, with a
+// different worker count and result-reuse mode per shard — produces a
+// summary byte-identical to the contiguous run's. This extends the
+// result-stream bit-identity property of
+// TestFirstTrialShardsMatchContiguous to the sketch layer: the sketches
+// are pure functions of the trial multiset, not of arrival order.
+func TestShardSummariesMatchContiguous(t *testing.T) {
+	const total = 24
+	splits := [][]int{
+		{total},               // one shard: a pure Merge-into-empty no-op
+		{8, 9, 7},             // uneven 3-way
+		{3, 4, 3, 4, 3, 4, 3}, // 7-way
+	}
+	for _, proc := range dispersion.Processes() {
+		base := dispersion.Job{Process: proc, Spec: "complete:16", Trials: total}
+		_, want := foldSummary(t, dispersion.Engine{Seed: 5, Experiment: 2}, base)
+		for si, split := range splits {
+			parts := make([]*agg.Summary, len(split))
+			first := 0
+			for k, n := range split {
+				eng := dispersion.Engine{
+					Seed:         5,
+					Experiment:   2,
+					Workers:      1 + (si+3*k)%7,
+					ReuseResults: k%2 == 0,
+				}
+				job := base
+				job.FirstTrial, job.Trials = first, n
+				parts[k], _ = foldSummary(t, eng, job)
+				first += n
+			}
+			for name, order := range map[string][]*agg.Summary{
+				"forward":  parts,
+				"reversed": reversed(parts),
+			} {
+				merged := agg.NewSummary()
+				for _, p := range order {
+					if err := merged.Merge(p); err != nil {
+						t.Fatalf("%s split %d: merge: %v", proc, si, err)
+					}
+				}
+				got, err := json.Marshal(merged)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: split %v merged %s diverged from the contiguous summary\ngot  %s\nwant %s",
+						proc, split, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// reversed returns a reversed copy of parts.
+func reversed(parts []*agg.Summary) []*agg.Summary {
+	out := make([]*agg.Summary, len(parts))
+	for i, p := range parts {
+		out[len(parts)-1-i] = p
+	}
+	return out
+}
+
+// TestSummaryMatchesOfflineStats checks the sketch read paths against
+// the offline internal/stats toolkit on the same trial multiset,
+// including a continuous-time process whose makespans are not integers:
+// the moments must agree to float64 rounding, the quantile sketch
+// within its documented relative-error budget, and the histogram CDF
+// exactly at bucket edges.
+func TestSummaryMatchesOfflineStats(t *testing.T) {
+	for _, proc := range []string{"sequential", "ct-uniform"} {
+		eng := dispersion.Engine{Seed: 9, Experiment: 1}
+		job := dispersion.Job{Process: proc, Spec: "complete:24", Trials: 1500}
+		sum, _ := foldSummary(t, eng, job)
+
+		xs := make([]float64, 0, job.Trials)
+		err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+			xs = append(xs, tr.Result.Makespan())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := stats.Summarize(xs)
+
+		m := sum.Makespan.Moments
+		if m.N() != int64(off.N) || m.Min() != off.Min || m.Max() != off.Max {
+			t.Fatalf("%s: moments n/min/max (%d, %g, %g) vs offline (%d, %g, %g)",
+				proc, m.N(), m.Min(), m.Max(), off.N, off.Min, off.Max)
+		}
+		if diff := math.Abs(m.Mean() - off.Mean); diff > 1e-9*off.Mean {
+			t.Errorf("%s: sketch mean %.12g vs offline %.12g", proc, m.Mean(), off.Mean)
+		}
+		if diff := math.Abs(m.Variance() - off.Variance); diff > 1e-6*off.Variance {
+			t.Errorf("%s: sketch variance %.12g vs offline %.12g", proc, m.Variance(), off.Variance)
+		}
+
+		sort.Float64s(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			want := stats.Quantile(xs, q)
+			got := sum.Makespan.Quantiles.Query(q)
+			if want > 0 && math.Abs(got-want) > 1.5*sum.Makespan.Quantiles.Alpha()*want {
+				t.Errorf("%s: q%.2f sketch %.6g vs offline %.6g", proc, q, got, want)
+			}
+		}
+
+		h := sum.Makespan.Histogram
+		edge := 8 * h.Width()
+		below := 0
+		for _, x := range xs {
+			if x < edge {
+				below++
+			}
+		}
+		if got, want := h.CDF(edge), float64(below)/float64(len(xs)); got != want {
+			t.Errorf("%s: CDF(%g) = %.6g, want exact %.6g", proc, edge, got, want)
+		}
+	}
+}
+
+// TestSummaryMeanMatchesExact pins the summary's mean against
+// internal/exact ground truth for the sequential process on K_5 and the
+// 5-vertex star, mirroring the sharded-sample check of
+// TestShardedSampleMatchesExact through the sketch layer.
+func TestSummaryMeanMatchesExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete:5", graph.Complete(5)},
+		{"star:5", graph.Star(5)},
+	} {
+		e, err := exact.NewSequential(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, tail := e.ExpectedDispersion(400)
+		if tail > 1e-9 {
+			t.Fatalf("%s: exact computation truncated too early (tail %g)", tc.name, tail)
+		}
+		sum, _ := foldSummary(t,
+			dispersion.Engine{Seed: 11, ReuseResults: true},
+			dispersion.Job{Process: "sequential", Graph: tc.g, Trials: 6000})
+		got := sum.Makespan.Moments.Mean()
+		if diff := math.Abs(got - mean); diff > 0.05*mean {
+			t.Fatalf("%s: summary mean %.4f vs exact %.4f (diff %.4f)", tc.name, got, mean, diff)
+		}
+	}
+}
