@@ -13,6 +13,7 @@ import (
 	"dispersion"
 	"dispersion/agg"
 	"dispersion/internal/bench"
+	"dispersion/internal/benchsuite"
 	"dispersion/internal/block"
 	"dispersion/internal/core"
 	"dispersion/internal/exact"
@@ -300,72 +301,34 @@ func BenchmarkStepGenericTorus3D(b *testing.B) {
 
 // --- Engine steady-state trial throughput (the zero-allocation hot path) ---
 
-// benchEngineTrials reports per-trial cost of the full public engine loop
-// — option resolution, per-worker scratch, kernel dispatch, result
-// recycling — with allocs/op expected to sit at ~0 in steady state (the
-// fixed per-run setup amortizes across b.N trials).
-func benchEngineTrials(b *testing.B, process, spec string) {
-	b.Helper()
-	eng := dispersion.Engine{Seed: 1, ReuseResults: true}
-	b.ReportAllocs()
-	b.ResetTimer()
-	err := eng.Run(context.Background(), dispersion.Job{
-		Process: process, Spec: spec, Trials: b.N,
-	}, func(dispersion.Trial) error { return nil })
+// BenchmarkEngineSuite drives every configuration of the checked-in
+// benchmark-lab suites file (benchsuites.json) through the public engine
+// loop — option resolution, per-worker scratch, kernel dispatch, result
+// recycling — one sub-benchmark per configuration, with allocs/op
+// expected to sit at ~0 in steady state (the fixed per-run setup
+// amortizes across b.N trials). cmd/benchlab measures the very same
+// configurations with repeated-sample statistics; this target keeps them
+// reachable from plain `go test -bench`, e.g.:
+//
+//	go test -bench 'EngineSuite/engine/sequential' -benchmem
+func BenchmarkEngineSuite(b *testing.B) {
+	f, err := benchsuite.Load("benchsuites.json")
 	if err != nil {
 		b.Fatal(err)
 	}
-}
-
-func BenchmarkEngineCliqueSeq(b *testing.B) {
-	benchEngineTrials(b, "sequential", "complete:512")
-}
-
-func BenchmarkEngineCliquePar(b *testing.B) {
-	benchEngineTrials(b, "parallel", "complete:512")
-}
-
-func BenchmarkEngineHypercubeSeq(b *testing.B) {
-	benchEngineTrials(b, "sequential", "hypercube:9")
-}
-
-func BenchmarkEngineHypercube16Seq(b *testing.B) {
-	benchEngineTrials(b, "sequential", "hypercube:16")
-}
-
-func BenchmarkEngineCycleSeq(b *testing.B) {
-	benchEngineTrials(b, "sequential", "cycle:128")
-}
-
-func BenchmarkEngineTorus3DSeq(b *testing.B) {
-	benchEngineTrials(b, "sequential", "torus:8x8x8")
-}
-
-func BenchmarkEngineCliqueCTU(b *testing.B) {
-	benchEngineTrials(b, "ct-uniform", "complete:256")
-}
-
-// --- Variant-workload engine throughput (the PR-5 registered processes,
-// sharing the same zero-allocation hot path) ---
-
-func BenchmarkEngineCliqueGeom(b *testing.B) {
-	benchEngineTrials(b, "sequential-geom", "complete:512")
-}
-
-func BenchmarkEngineCliqueThreshold(b *testing.B) {
-	benchEngineTrials(b, "sequential-threshold", "complete:512")
-}
-
-func BenchmarkEngineCliqueCapacity(b *testing.B) {
-	benchEngineTrials(b, "capacity", "complete:512")
-}
-
-func BenchmarkEngineCliqueCapacityPar(b *testing.B) {
-	benchEngineTrials(b, "capacity-parallel", "complete:512")
-}
-
-func BenchmarkEngineTorus3DCapacity(b *testing.B) {
-	benchEngineTrials(b, "capacity", "torus:8x8x8")
+	for _, cfg := range f.Configs(false) {
+		b.Run(cfg.Name, func(b *testing.B) {
+			eng := dispersion.Engine{Seed: cfg.Seed, Workers: cfg.Workers, ReuseResults: true}
+			job := cfg.Job()
+			job.Trials = b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			err := eng.Run(context.Background(), job, func(dispersion.Trial) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }
 
 // --- Aggregation overhead (the agg sketches on the engine hot path) ---

@@ -7,15 +7,23 @@
 //
 //	benchcmp OLD.json NEW.json
 //
-// Benchmarks present in only one report are listed as added/removed. The
-// comparison is informational — single-iteration CI sweeps are noisy and
-// the two reports may come from different machines — so the exit status
-// is 0 whenever both inputs parse.
+// Benchmarks present in only one report are listed as added/removed rows
+// and tallied in a trailing summary line, so one-sided entries cannot
+// hide inside a long table. The comparison is informational —
+// single-iteration CI sweeps are noisy and the two reports may come from
+// different machines — so the exit status is 0 whenever both inputs
+// parse.
+//
+// Deprecated: for pass/fail decisions use `benchlab -gate OLD NEW`
+// (cmd/benchlab), which reruns each configuration many times and only
+// fails on statistically significant, material regressions. benchcmp
+// stays for eyeballing one-shot benchjson sweeps.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -69,8 +77,10 @@ func load(path string) (map[string]entry, error) {
 	return out, nil
 }
 
-// compare prints the old-vs-new table plus added/removed benchmarks.
-func compare(w *os.File, oldRep, newRep map[string]entry) {
+// compare prints the old-vs-new table plus added/removed benchmarks,
+// ending with a summary of one-sided entries and a pointer at the
+// statistically sound replacement.
+func compare(w io.Writer, oldRep, newRep map[string]entry) {
 	names := make([]string, 0, len(oldRep)+len(newRep))
 	seen := map[string]bool{}
 	for name := range oldRep {
@@ -85,13 +95,16 @@ func compare(w *os.File, oldRep, newRep map[string]entry) {
 	sort.Strings(names)
 
 	fmt.Fprintf(w, "%-36s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	added, removed := 0, 0
 	for _, name := range names {
 		o, inOld := oldRep[name]
 		n, inNew := newRep[name]
 		switch {
 		case !inOld:
+			added++
 			fmt.Fprintf(w, "%-36s %14s %14.0f %8s\n", name, "-", n.Metrics["ns/op"], "added")
 		case !inNew:
+			removed++
 			fmt.Fprintf(w, "%-36s %14.0f %14s %8s\n", name, o.Metrics["ns/op"], "-", "removed")
 		default:
 			ons, nns := o.Metrics["ns/op"], n.Metrics["ns/op"]
@@ -102,4 +115,8 @@ func compare(w *os.File, oldRep, newRep map[string]entry) {
 			fmt.Fprintf(w, "%-36s %14.0f %14.0f %8s\n", name, ons, nns, speedup)
 		}
 	}
+	if added > 0 || removed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) only in NEW, %d only in OLD\n", added, removed)
+	}
+	fmt.Fprintln(w, "note: benchcmp is informational; for statistical regression gating use: benchlab -gate OLD NEW")
 }

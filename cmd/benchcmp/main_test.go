@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReportFile(t *testing.T, name, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsOneSidedBenchmarks(t *testing.T) {
+	oldRep, err := load(writeReportFile(t, "old.json", `{"benchmarks": [
+		{"name": "Shared", "metrics": {"ns/op": 200}},
+		{"name": "Gone", "metrics": {"ns/op": 50}}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := load(writeReportFile(t, "new.json", `{"benchmarks": [
+		{"name": "Shared", "metrics": {"ns/op": 100}},
+		{"name": "Fresh", "metrics": {"ns/op": 75}}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	compare(&buf, oldRep, newRep)
+	out := buf.String()
+
+	for _, want := range []string{
+		"added",   // Fresh appears only in new
+		"removed", // Gone appears only in old
+		"2.00x",   // Shared halved its ns/op
+		"1 benchmark(s) only in NEW, 1 only in OLD",
+		"benchlab -gate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows come out in sorted name order: Fresh, Gone, Shared.
+	if f, g := strings.Index(out, "Fresh"), strings.Index(out, "Gone"); f > g {
+		t.Errorf("rows not sorted by name:\n%s", out)
+	}
+}
+
+func TestCompareIdenticalReportsOmitSummary(t *testing.T) {
+	rep, err := load(writeReportFile(t, "same.json", `{"benchmarks": [
+		{"name": "Only", "metrics": {"ns/op": 10}}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	compare(&buf, rep, rep)
+	out := buf.String()
+	if strings.Contains(out, "only in") {
+		t.Errorf("summary line printed with no one-sided benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00x") {
+		t.Errorf("missing 1.00x speedup for identical reports:\n%s", out)
+	}
+}
+
+func TestLoadRejectsMalformedReport(t *testing.T) {
+	if _, err := load(writeReportFile(t, "bad.json", `{"benchmarks": [`)); err == nil {
+		t.Fatal("malformed report accepted")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

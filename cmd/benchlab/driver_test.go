@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"dispersion/internal/benchsuite"
+)
+
+// tinySuites is a fast end-to-end lab: 2 configurations, 4 samples of 40
+// trials each.
+const tinySuites = `{
+  "defaults": {"samples": 4, "iterations": 40, "warmup": 1, "workers": 1, "seed": 3},
+  "suites": [
+    {"name": "tiny", "processes": ["sequential", "parallel"], "graphs": ["complete:32"]}
+  ]
+}`
+
+func tinyConfigs(t *testing.T) []benchsuite.Config {
+	t.Helper()
+	f, err := benchsuite.Parse([]byte(tinySuites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Configs(false)
+}
+
+func TestLabEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "lab.json")
+	trajPath := filepath.Join(dir, "trajectory.jsonl")
+
+	var table bytes.Buffer
+	rep, err := runLab(context.Background(), tinyConfigs(t), false, nil, &table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Configs) != 2 {
+		t.Fatalf("measured %d configurations, want 2", len(rep.Configs))
+	}
+	for _, c := range rep.Configs {
+		for _, metric := range []string{"ns/op", "trials/sec", "allocs/op"} {
+			m, ok := c.Metrics[metric]
+			if !ok {
+				t.Fatalf("%s: missing metric %s", c.Name, metric)
+			}
+			if len(m.Samples) != 4 {
+				t.Errorf("%s %s: %d samples, want 4", c.Name, metric, len(m.Samples))
+			}
+			if m.MeanCI[0] > m.Mean || m.Mean > m.MeanCI[1] {
+				t.Errorf("%s %s: mean %g outside its CI %v", c.Name, metric, m.Mean, m.MeanCI)
+			}
+			if m.MedianCI[0] > m.Median || m.Median > m.MedianCI[1] {
+				t.Errorf("%s %s: median %g outside its CI %v", c.Name, metric, m.Median, m.MedianCI)
+			}
+		}
+		if ns := c.Metrics["ns/op"]; ns.Median <= 0 {
+			t.Errorf("%s: non-positive median ns/op %g", c.Name, ns.Median)
+		}
+		if tps := c.Metrics["trials/sec"]; tps.Median <= 0 {
+			t.Errorf("%s: non-positive trials/sec %g", c.Name, tps.Median)
+		}
+	}
+	// The human table carries one row per configuration plus the header.
+	if got := bytes.Count(table.Bytes(), []byte("\n")); got != 3 {
+		t.Errorf("table has %d lines, want 3:\n%s", got, table.String())
+	}
+
+	// The report round-trips through the file and passes the gate
+	// against itself.
+	if err := writeReport(outPath, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadReport(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Configs) != 2 || back.Schema != Schema {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+	if n, err := runGate(io.Discard, outPath, outPath, gateOptions{alpha: 0.05, threshold: 0.05}); err != nil || n != 0 {
+		t.Fatalf("self-gate: %d regressions, err %v", n, err)
+	}
+
+	// The trajectory file appends one ordered line per run.
+	for i := 0; i < 2; i++ {
+		if err := appendTrajectory(trajPath, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(trajPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var pt trajectoryPoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			t.Fatalf("trajectory line %d: %v", lines, err)
+		}
+		if len(pt.Configs) != 2 || pt.Configs[0].Name != "tiny/sequential/complete:32" {
+			t.Errorf("trajectory line %d: %+v", lines, pt)
+		}
+		if pt.Configs[0].NsPerOp <= 0 {
+			t.Errorf("trajectory line %d: non-positive ns/op", lines)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("trajectory has %d lines, want 2", lines)
+	}
+}
+
+func TestLabRunFilter(t *testing.T) {
+	rep, err := runLab(context.Background(), tinyConfigs(t), false,
+		regexp.MustCompile(`parallel`), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Configs) != 1 || rep.Configs[0].Name != "tiny/parallel/complete:32" {
+		t.Fatalf("filter kept %+v", rep.Configs)
+	}
+	if _, err := runLab(context.Background(), tinyConfigs(t), false,
+		regexp.MustCompile(`nothing-matches`), io.Discard); err == nil {
+		t.Error("empty filtered run did not error")
+	}
+}
+
+// TestCommittedSuitesFile pins the repository's checked-in suites file:
+// it must parse, expand without name collisions, keep statistically
+// meaningful sample counts, and declare quick budgets small enough for
+// CI.
+func TestCommittedSuitesFile(t *testing.T) {
+	f, err := benchsuite.Load(filepath.Join("..", "..", "benchsuites.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := f.Configs(false)
+	quick := f.Configs(true)
+	if len(full) == 0 || len(full) != len(quick) {
+		t.Fatalf("expanded %d full / %d quick configurations", len(full), len(quick))
+	}
+	for i, c := range full {
+		if c.Samples < 10 {
+			t.Errorf("%s: %d samples — the lab needs N >= 10 for its intervals", c.Name, c.Samples)
+		}
+		if q := quick[i]; q.Iterations >= max(c.Iterations, 2) {
+			t.Errorf("%s: quick budget %d not smaller than full budget %d", c.Name, q.Iterations, c.Iterations)
+		}
+		if err := c.Job().Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dispersion/internal/stats"
+)
+
+// gateOptions configure the regression gate.
+type gateOptions struct {
+	// alpha is the significance level of the one-sided Mann-Whitney
+	// test: a configuration only regresses if the chance of seeing its
+	// slowdown under "no change" is below alpha.
+	alpha float64
+	// threshold is the minimum material slowdown: the new median must
+	// exceed the old by more than this fraction. Statistical
+	// significance alone is not enough — with tight samples a 0.1%
+	// slowdown can be significant yet meaningless.
+	threshold float64
+}
+
+// gateVerdict is one configuration's comparison outcome.
+type gateVerdict struct {
+	name           string
+	oldMed, newMed float64
+	ratio, p       float64
+	slower, allocs bool
+	faster         bool
+	allocsOld      float64
+	allocsNew      float64
+}
+
+// regressed reports whether the configuration fails the gate.
+func (v gateVerdict) regressed() bool { return v.slower || v.allocs }
+
+// verdict renders the outcome column.
+func (v gateVerdict) verdict() string {
+	switch {
+	case v.slower && v.allocs:
+		return "slower!+allocs!"
+	case v.slower:
+		return "slower!"
+	case v.allocs:
+		return "allocs!"
+	case v.faster:
+		return "faster"
+	}
+	return "ok"
+}
+
+// runGate compares two benchlab reports and writes the verdict table to
+// w, returning the number of statistically significant regressions (the
+// caller's exit status). Configurations present in only one report never
+// fail the gate: new ones pass with a note (a benchmark appearing cannot
+// be a regression), removed ones are noted so a silently dropped
+// benchmark is visible in the log.
+func runGate(w io.Writer, oldPath, newPath string, opt gateOptions) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "gate: %s -> %s (alpha %g, threshold +%g%%)\n",
+		oldPath, newPath, opt.alpha, opt.threshold*100)
+	if oldRep.Goos != newRep.Goos || oldRep.Goarch != newRep.Goarch || oldRep.CPUs != newRep.CPUs {
+		fmt.Fprintf(w, "warning: reports come from different machines (%s/%s/%d CPUs vs %s/%s/%d CPUs); medians are not comparable across machines\n",
+			oldRep.Goos, oldRep.Goarch, oldRep.CPUs, newRep.Goos, newRep.Goarch, newRep.CPUs)
+	}
+	oldByName := map[string]ConfigResult{}
+	for _, c := range oldRep.Configs {
+		oldByName[c.Name] = c
+	}
+	fmt.Fprintf(w, "%-52s %12s %12s %7s %8s  %s\n",
+		"config", "old ns/op", "new ns/op", "ratio", "p", "verdict")
+	var added []string
+	regressions := 0
+	seen := map[string]bool{}
+	for _, nc := range newRep.Configs {
+		seen[nc.Name] = true
+		oc, ok := oldByName[nc.Name]
+		if !ok {
+			added = append(added, nc.Name)
+			continue
+		}
+		v, err := compareConfig(oc, nc, opt)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(w, "%-52s %12.1f %12.1f %7.3f %8.4f  %s\n",
+			v.name, v.oldMed, v.newMed, v.ratio, v.p, v.verdict())
+		if v.allocs {
+			fmt.Fprintf(w, "%-52s %12s allocs/op regressed: median %.2f -> %.2f\n",
+				"", "", v.allocsOld, v.allocsNew)
+		}
+		if v.regressed() {
+			regressions++
+		}
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "new configuration (passes): %s\n", name)
+	}
+	var removed []string
+	for name := range oldByName {
+		if !seen[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "removed configuration (note): %s no longer measured\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "gate: %d statistically significant regression(s)\n", regressions)
+	} else {
+		fmt.Fprintf(w, "gate: no statistically significant regressions\n")
+	}
+	return regressions, nil
+}
+
+// compareConfig decides one configuration's verdict.
+//
+// ns/op regresses when BOTH hold: the one-sided Mann-Whitney test finds
+// the old samples significantly stochastically smaller (p < alpha — the
+// slowdown is distinguishable from noise), and the median slowdown
+// exceeds the threshold (it is material). The symmetric test reports
+// significant material speedups informationally. Medians are recomputed
+// from the raw samples, never trusted from the file.
+//
+// allocs/op is near-deterministic (the Mann-Whitney test degenerates on
+// all-equal samples), so it gates on medians alone: a regression needs
+// both a quarter of an allocation per trial in absolute terms — real new
+// allocation work, not measurement jitter from a stray GC — and the
+// relative threshold.
+func compareConfig(oc, nc ConfigResult, opt gateOptions) (gateVerdict, error) {
+	oldNS, err := metricSamples(oc, "ns/op")
+	if err != nil {
+		return gateVerdict{}, err
+	}
+	newNS, err := metricSamples(nc, "ns/op")
+	if err != nil {
+		return gateVerdict{}, err
+	}
+	v := gateVerdict{
+		name:   nc.Name,
+		oldMed: stats.Summarize(oldNS).Median,
+		newMed: stats.Summarize(newNS).Median,
+	}
+	_, v.p = stats.MannWhitneyU(oldNS, newNS)
+	v.ratio = v.newMed / v.oldMed
+	if v.p < opt.alpha && v.ratio > 1+opt.threshold {
+		v.slower = true
+	}
+	if _, pFaster := stats.MannWhitneyU(newNS, oldNS); pFaster < opt.alpha && v.ratio < 1/(1+opt.threshold) {
+		v.faster = true
+	}
+	oldAl, err := metricSamples(oc, "allocs/op")
+	if err != nil {
+		return gateVerdict{}, err
+	}
+	newAl, err := metricSamples(nc, "allocs/op")
+	if err != nil {
+		return gateVerdict{}, err
+	}
+	v.allocsOld = stats.Summarize(oldAl).Median
+	v.allocsNew = stats.Summarize(newAl).Median
+	if v.allocsNew > v.allocsOld+0.25 && v.allocsNew > v.allocsOld*(1+opt.threshold) {
+		v.allocs = true
+	}
+	return v, nil
+}
+
+// metricSamples extracts one metric's raw samples, erroring on a report
+// that lacks them (a corrupt or hand-edited file must not silently pass
+// the gate).
+func metricSamples(c ConfigResult, metric string) ([]float64, error) {
+	m, ok := c.Metrics[metric]
+	if !ok || len(m.Samples) == 0 {
+		return nil, fmt.Errorf("configuration %q carries no %s samples", c.Name, metric)
+	}
+	return m.Samples, nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current gate output:
+//
+//	go test ./cmd/benchlab -run TestGate -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runGateFixture gates testdata/gate_old.json against the named new
+// fixture and compares the output against the golden file.
+func runGateFixture(t *testing.T, newFixture, golden string, wantRegressions int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := runGate(&buf, filepath.Join("testdata", "gate_old.json"),
+		filepath.Join("testdata", newFixture), gateOptions{alpha: 0.05, threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantRegressions {
+		t.Errorf("gate found %d regressions, want %d\noutput:\n%s", n, wantRegressions, buf.String())
+	}
+	goldenPath := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("gate output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, buf.String(), want)
+	}
+	return buf.String()
+}
+
+func TestGateSeededRegressionFails(t *testing.T) {
+	out := runGateFixture(t, "gate_new_regressed.json", "gate_regressed.golden", 2)
+	// The 30% slowdown on the sequential clique and the 0→3 allocs/op
+	// jump on the torus both fail; the jittered parallel run and the
+	// significant-but-immaterial (+0.1%) cycle shift both pass.
+	if !strings.Contains(out, "slower!") {
+		t.Error("missing slower! verdict")
+	}
+	if !strings.Contains(out, "allocs!") {
+		t.Error("missing allocs! verdict")
+	}
+	if !strings.Contains(out, "2 statistically significant regression(s)") {
+		t.Error("missing regression summary")
+	}
+}
+
+func TestGateNoisyEqualPasses(t *testing.T) {
+	out := runGateFixture(t, "gate_new_noisy.json", "gate_noisy.golden", 0)
+	// The cycle config shifted by a consistent, statistically
+	// significant +2% — below the 5% materiality threshold, so it must
+	// NOT regress (that is the whole point of the threshold).
+	if !strings.Contains(out, "no statistically significant regressions") {
+		t.Error("noisy-but-equal pair did not pass")
+	}
+	if strings.Contains(out, "slower!") {
+		t.Error("noise flagged as regression")
+	}
+}
+
+func TestGateAddedAndRemovedPassWithNotes(t *testing.T) {
+	out := runGateFixture(t, "gate_new_added.json", "gate_added.golden", 0)
+	if !strings.Contains(out, "new configuration (passes): variants/capacity/complete:512") {
+		t.Error("missing added-configuration note")
+	}
+	if !strings.Contains(out, "removed configuration (note): engine/parallel/complete:512") {
+		t.Error("missing removed-configuration note")
+	}
+}
+
+func TestGateIdenticalReportPasses(t *testing.T) {
+	var buf bytes.Buffer
+	old := filepath.Join("testdata", "gate_old.json")
+	n, err := runGate(&buf, old, old, gateOptions{alpha: 0.05, threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("identical reports produced %d regressions:\n%s", n, buf.String())
+	}
+}
+
+func TestGateTightensWithOptions(t *testing.T) {
+	// With the materiality threshold at zero, the +2% cycle shift in the
+	// noisy fixture becomes a regression: the threshold flag is live.
+	var buf bytes.Buffer
+	n, err := runGate(&buf, filepath.Join("testdata", "gate_old.json"),
+		filepath.Join("testdata", "gate_new_noisy.json"), gateOptions{alpha: 0.05, threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("threshold 0: %d regressions, want 1 (the +2%% cycle shift)\n%s", n, buf.String())
+	}
+	// And with alpha tightened to 1e-9 even the seeded regression's
+	// evidence (p ≈ 1e-4 from 10 fully separated samples) is deemed
+	// insufficient: alpha is live too.
+	buf.Reset()
+	n, err = runGate(&buf, filepath.Join("testdata", "gate_old.json"),
+		filepath.Join("testdata", "gate_new_regressed.json"), gateOptions{alpha: 1e-9, threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("alpha 1e-9: %d regressions, want 1 (only the alloc jump, which alpha does not govern)\n%s", n, buf.String())
+	}
+}
+
+func TestGateRejectsNonBenchlabReport(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "benchjson.json")
+	if err := os.WriteFile(bad, []byte(`{"benchmarks": [{"name": "X", "metrics": {"ns/op": 5}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runGate(&bytes.Buffer{}, bad, bad, gateOptions{alpha: 0.05, threshold: 0.05}); err == nil {
+		t.Fatal("benchjson document accepted as a benchlab report")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("error %q does not mention the schema", err)
+	}
+}

@@ -1,0 +1,177 @@
+package benchsuite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dispersion/server"
+)
+
+const sampleDoc = `{
+  "defaults": {"samples": 6, "iterations": 400, "quick_iterations": 40, "warmup": 2, "workers": 1, "seed": 7},
+  "suites": [
+    {"name": "engine",
+     "processes": ["sequential", "parallel"],
+     "graphs": ["complete:64", "cycle:32"],
+     "iterations": 800},
+    {"name": "variants",
+     "processes": ["capacity"],
+     "graphs": ["complete:64"],
+     "options": [{}, {"capacity": 3}, {"lazy": true, "particles": 16}],
+     "samples": 4}
+  ]
+}`
+
+func parseSample(t *testing.T) *File {
+	t.Helper()
+	f, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := parseSample(t)
+	rendered := f.String()
+	back, err := Parse([]byte(rendered))
+	if err != nil {
+		t.Fatalf("reparsing String output: %v", err)
+	}
+	if !reflect.DeepEqual(f, back) {
+		t.Errorf("parse → String → parse changed the file:\nfirst:  %+v\nsecond: %+v", f, back)
+	}
+	// And String is a fixed point: rendering the reparse is identical.
+	if again := back.String(); again != rendered {
+		t.Errorf("String not canonical:\nfirst:\n%s\nsecond:\n%s", rendered, again)
+	}
+}
+
+func TestConfigsExpansion(t *testing.T) {
+	f := parseSample(t)
+	cfgs := f.Configs(false)
+	var names []string
+	for _, c := range cfgs {
+		names = append(names, c.Name)
+	}
+	want := []string{
+		"engine/sequential/complete:64",
+		"engine/parallel/complete:64",
+		"engine/sequential/cycle:32",
+		"engine/parallel/cycle:32",
+		"variants/capacity/complete:64",
+		"variants/capacity/complete:64/capacity=3",
+		"variants/capacity/complete:64/lazy,particles=16",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("expanded names %v, want %v", names, want)
+	}
+	// Suite overrides defaults; unset fields inherit.
+	c := cfgs[0]
+	if c.Iterations != 800 || c.Samples != 6 || c.Warmup != 2 || c.Workers != 1 || c.Seed != 7 {
+		t.Errorf("engine budgets: %+v", c)
+	}
+	v := cfgs[4]
+	if v.Samples != 4 || v.Iterations != 400 {
+		t.Errorf("variants budgets: %+v", v)
+	}
+	// The engine job of a cell carries the cell's coordinates.
+	job := cfgs[5].Job()
+	if job.Process != "capacity" || job.Spec != "complete:64" || job.Trials != 400 || len(job.Options) != 1 {
+		t.Errorf("job: %+v", job)
+	}
+	if err := job.Validate(); err != nil {
+		t.Errorf("expanded job does not validate: %v", err)
+	}
+}
+
+func TestConfigsQuickBudgets(t *testing.T) {
+	f := parseSample(t)
+	quick := f.Configs(true)
+	// The engine suite has no quick_iterations of its own: it inherits
+	// the default 40. Same for variants.
+	for _, c := range quick {
+		if c.Iterations != 40 {
+			t.Errorf("%s: quick iterations %d, want 40", c.Name, c.Iterations)
+		}
+	}
+	// With no quick budget anywhere, quick mode falls back to a tenth.
+	f2, err := Parse([]byte(`{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"], "iterations": 250}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Configs(true)[0].Iterations; got != 25 {
+		t.Errorf("fallback quick iterations %d, want 25", got)
+	}
+	// The fallback never reaches zero.
+	f3, err := Parse([]byte(`{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"], "iterations": 5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f3.Configs(true)[0].Iterations; got != 1 {
+		t.Errorf("minimum quick iterations %d, want 1", got)
+	}
+}
+
+func TestParseRejectsUnknownGraph(t *testing.T) {
+	_, err := Parse([]byte(`{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["moebius:9"]}]}`))
+	if err == nil {
+		t.Fatal("unknown graph family accepted")
+	}
+	// The graphspec diagnostics (naming the family and the known kinds)
+	// must survive the wrapping.
+	if !strings.Contains(err.Error(), `unknown graph kind "moebius"`) ||
+		!strings.Contains(err.Error(), "complete") {
+		t.Errorf("error %q does not carry graphspec.Parse diagnostics", err)
+	}
+}
+
+func TestParseRejectsUnknownProcess(t *testing.T) {
+	_, err := Parse([]byte(`{"suites": [{"name": "s", "processes": ["teleport"], "graphs": ["complete:8"]}]}`))
+	if err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown process "teleport"`) ||
+		!strings.Contains(err.Error(), "sequential") {
+		t.Errorf("error %q does not carry the registry diagnostics", err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown field", `{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"], "iteraitons": 5}]}`, "iteraitons"},
+		{"no suites", `{"suites": []}`, "no suites"},
+		{"unnamed suite", `{"suites": [{"processes": ["sequential"], "graphs": ["complete:8"]}]}`, "no name"},
+		{"slash in name", `{"suites": [{"name": "a/b", "processes": ["sequential"], "graphs": ["complete:8"]}]}`, "must not contain"},
+		{"duplicate suites", `{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"]}, {"name": "s", "processes": ["sequential"], "graphs": ["complete:8"]}]}`, "duplicate suite"},
+		{"no processes", `{"suites": [{"name": "s", "graphs": ["complete:8"]}]}`, "no processes"},
+		{"no graphs", `{"suites": [{"name": "s", "processes": ["sequential"]}]}`, "no graphs"},
+		{"duplicate cell", `{"suites": [{"name": "s", "processes": ["sequential", "sequential"], "graphs": ["complete:8"]}]}`, "duplicate configuration"},
+		{"negative budget", `{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"], "warmup": -1}]}`, "negative budget"},
+		{"trailing data", `{"suites": [{"name": "s", "processes": ["sequential"], "graphs": ["complete:8"]}]} {"x": 1}`, "trailing"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOptionsLabelDeterministic(t *testing.T) {
+	o := server.Options{Lazy: true, Particles: 16, SettleParam: 0.25, Capacity: 3}
+	want := "lazy,particles=16,settle-param=0.25,capacity=3"
+	if got := OptionsLabel(o); got != want {
+		t.Errorf("label %q, want %q", got, want)
+	}
+	if got := OptionsLabel(server.Options{}); got != "" {
+		t.Errorf("zero options label %q, want empty", got)
+	}
+}

@@ -55,16 +55,37 @@ func MannWhitneyU(a, b []float64) (u float64, pSmaller float64) {
 	nTot := nA + nB
 	variance := nA * nB / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
 	if variance <= 0 {
-		if u < mean {
+		// Every observation ties with every other: the data carry no
+		// ordering evidence at all, so the test is maximally inconclusive
+		// (U must equal its null mean). Guard the comparisons anyway for
+		// float safety.
+		switch {
+		case u < mean:
 			return u, 0
+		case u > mean:
+			return u, 1
 		}
-		return u, 1
+		return u, 0.5
 	}
 	z := (u - mean) / math.Sqrt(variance)
 	// One-sided: small U means a's values rank low, so the p-value for
 	// the alternative "a smaller" is the lower tail P(U <= u) = Φ(z).
 	pSmaller = 0.5 * math.Erfc(-z/math.Sqrt2)
 	return u, pSmaller
+}
+
+// MannWhitneyTwoSided returns the U statistic and the two-sided p-value
+// of the Mann-Whitney test for any location difference between a and b
+// (normal approximation with midranks and tie-corrected variance, like
+// MannWhitneyU). Identical all-tied samples report p = 1: no evidence of
+// a shift in either direction.
+func MannWhitneyTwoSided(a, b []float64) (u float64, p float64) {
+	u, pSmaller := MannWhitneyU(a, b)
+	p = 2 * math.Min(pSmaller, 1-pSmaller)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
 }
 
 // StochasticallySmaller reports whether sample a is significantly

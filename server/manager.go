@@ -85,8 +85,13 @@ type Options struct {
 	Capacity int `json:"capacity,omitempty"`
 }
 
-// build renders the JSON options as functional options.
-func (o Options) build() []dispersion.Option {
+// Build renders the JSON options as the equivalent dispersion functional
+// options. It is the one JSON-to-options mapping in the repository:
+// besides the server's own job submissions, the benchmark lab's suites
+// files (internal/benchsuite, cmd/benchlab) reuse it so a configuration
+// means exactly the same thing submitted over HTTP or benchmarked
+// locally.
+func (o Options) Build() []dispersion.Option {
 	var opts []dispersion.Option
 	if o.Lazy {
 		opts = append(opts, dispersion.WithLazy())
@@ -123,7 +128,7 @@ func (r JobRequest) job() dispersion.Job {
 		Origin:     r.Origin,
 		Trials:     r.Trials,
 		FirstTrial: r.FirstTrial,
-		Options:    r.Options.build(),
+		Options:    r.Options.Build(),
 	}
 }
 
