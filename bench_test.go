@@ -25,7 +25,7 @@ import (
 
 // benchDispersion runs one process realization per iteration and reports
 // steps/op via the returned dispersion metric.
-func benchDispersion(b *testing.B, g *graph.Graph, origin int, p bench.Process, opt core.Options) {
+func benchDispersion(b *testing.B, g *graph.CSR, origin int, p bench.Process, opt core.Options) {
 	b.Helper()
 	r := rng.New(uint64(b.N)) // distinct stream per sizing pass
 	b.ResetTimer()
@@ -211,7 +211,7 @@ func BenchmarkUniform(b *testing.B) {
 // mapGraph is the naive adjacency representation ablated against CSR.
 type mapGraph map[int32][]int32
 
-func buildMapGraph(g *graph.Graph) mapGraph {
+func buildMapGraph(g *graph.CSR) mapGraph {
 	m := make(mapGraph, g.N())
 	for v := 0; v < g.N(); v++ {
 		m[int32(v)] = append([]int32(nil), g.Neighbors(v)...)
@@ -248,7 +248,7 @@ func BenchmarkStepMap(b *testing.B) {
 // benchStepKernel drives one walk through the given kernel; pairing each
 // family's selected kernel against the graph's GenericKernel isolates the
 // per-step win of closed-form/offsets-free dispatch.
-func benchStepKernel(b *testing.B, g *graph.Graph, k graph.Kernel) {
+func benchStepKernel(b *testing.B, g *graph.CSR, k graph.Kernel) {
 	b.Helper()
 	r := rng.New(4)
 	v := int32(0)
@@ -421,7 +421,7 @@ func BenchmarkCTURoundApprox(b *testing.B) {
 // unit rounds and each unsettled particle takes Poisson(1) steps per
 // round. It loses the exact event ordering that Theorem 4.8's coupling
 // needs, which is why the heap engine is the primary implementation.
-func roundApproxCTU(g *graph.Graph, origin int, r *rng.Source) int {
+func roundApproxCTU(g *graph.CSR, origin int, r *rng.Source) int {
 	n := g.N()
 	occupied := make([]bool, n)
 	occupied[origin] = true

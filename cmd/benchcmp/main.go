@@ -1,5 +1,6 @@
-// Command benchcmp compares two benchjson reports (see cmd/benchjson) and
-// prints a per-benchmark table of old vs new ns/op with the speedup
+// Command benchcmp compares two one-shot benchmark sweep reports (the
+// legacy {"benchmarks": [...]} JSON the retired benchjson tool emitted)
+// and prints a per-benchmark table of old vs new ns/op with the speedup
 // factor, so CI logs show the repository's perf trajectory against the
 // committed BENCH_baseline.json on every run.
 //
@@ -17,7 +18,7 @@
 // Deprecated: for pass/fail decisions use `benchlab -gate OLD NEW`
 // (cmd/benchlab), which reruns each configuration many times and only
 // fails on statistically significant, material regressions. benchcmp
-// stays for eyeballing one-shot benchjson sweeps.
+// stays for eyeballing legacy one-shot sweeps.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 	"sort"
 )
 
-// report mirrors the benchjson output document.
+// report mirrors the legacy one-shot sweep document.
 type report struct {
 	// Benchmarks holds one parsed entry per benchmark result line.
 	Benchmarks []entry `json:"benchmarks"`
@@ -60,7 +61,7 @@ func main() {
 	compare(os.Stdout, oldRep, newRep)
 }
 
-// load parses one benchjson report, indexing entries by name.
+// load parses one legacy sweep report, indexing entries by name.
 func load(path string) (map[string]entry, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {

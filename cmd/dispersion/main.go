@@ -14,7 +14,10 @@
 //
 // Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
 // lollipop:N hair:N pimple:N,H treepath:LEVELS,PATHLEN grid:AxB torus:AxB
-// regular:N,D gnp:N,P tree:N.
+// circulant:N,S1[,S2...] rregular:N,D regular:N,D gnp:N,P tree:N. The
+// arithmetic families (torus, circulant, rregular, and the closed forms)
+// build implicit backends, so million-vertex sizes run in O(particles)
+// memory — e.g. -graph torus:2048x2048 -particles 4096.
 package main
 
 import (
@@ -156,7 +159,7 @@ func main() {
 		return
 	}
 	lo, hi := s.CI95()
-	fmt.Printf("graph        %s (n=%d, m=%d)\n", g.Name(), g.N(), g.M())
+	fmt.Printf("graph        %s (n=%d, m=%d)\n", g.Name(), g.N(), edgeCount(g))
 	fmt.Printf("process      %s (lazy=%v), origin %d, %d trials, seed %d\n",
 		p.Name(), *lazy, *origin, *trials, *seed)
 	fmt.Printf("dispersion   mean %.4g   95%% CI [%.4g, %.4g]\n", s.Mean, lo, hi)
@@ -169,4 +172,14 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dispersion:", err)
 	os.Exit(2)
+}
+
+// edgeCount sums degrees in O(n) without touching adjacency, so the
+// banner works for implicit backends that never store edges.
+func edgeCount(g dispersion.Graph) int64 {
+	var sum int64
+	for v := 0; v < g.N(); v++ {
+		sum += int64(g.Degree(v))
+	}
+	return sum / 2
 }

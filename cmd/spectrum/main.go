@@ -16,6 +16,7 @@ import (
 
 	"dispersion/graphspec"
 	"dispersion/internal/bounds"
+	"dispersion/internal/graph"
 	"dispersion/internal/markov"
 )
 
@@ -27,7 +28,14 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := graphspec.Build(*graphSpec, *seed)
+	built, err := graphspec.Build(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	// Every analytic below is adjacency-hungry (dense solves, spectra,
+	// BFS sweeps), so implicit backends are materialized up front; the
+	// tool is for the moderate sizes where that is affordable anyway.
+	g, err := graph.Materialize(built)
 	if err != nil {
 		fatal(err)
 	}

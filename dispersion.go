@@ -67,14 +67,14 @@ type SettleRule = core.SettleRule
 type Odometer = core.Odometer
 
 // NewOdometer derives the odometer of a run produced with WithRecord.
-func NewOdometer(g *Graph, res *Result) (*Odometer, error) {
+func NewOdometer(g Graph, res *Result) (*Odometer, error) {
 	return core.NewOdometer(g, res.core())
 }
 
 // Run looks up a registered process by name and executes one realization
 // on g from the given origin, rooted at the given seed. It is the
 // one-shot convenience over Lookup and Process.Run.
-func Run(process string, g *Graph, origin int, seed uint64, opts ...Option) (*Result, error) {
+func Run(process string, g Graph, origin int, seed uint64, opts ...Option) (*Result, error) {
 	p, err := Lookup(process)
 	if err != nil {
 		return nil, err

@@ -47,7 +47,7 @@ type Job struct {
 	Process string
 	// Graph is the graph to disperse on. If nil, Spec is parsed and
 	// built with the engine seed instead.
-	Graph *Graph
+	Graph Graph
 	// Spec is a textual graph-family spec (see dispersion/graphspec),
 	// used when Graph is nil.
 	Spec string
@@ -171,7 +171,7 @@ type trialCell struct {
 // through a pool. Steady-state trials of a non-Record job then allocate
 // nothing. The RNG draws are identical to the generic path's, so results
 // are bit-for-bit the same.
-func (e Engine) runCore(ctx context.Context, rn *walk.Runner, cp *coreProcess, g *Graph, job Job, each func(Trial) error) error {
+func (e Engine) runCore(ctx context.Context, rn *walk.Runner, cp *coreProcess, g Graph, job Job, each func(Trial) error) error {
 	opt := buildOptions(append(append([]Option(nil), cp.forced...), job.Options...))
 	var pool sync.Pool
 	getCell := func() *trialCell { return new(trialCell) }

@@ -73,7 +73,7 @@ func checkCDF(t *testing.T, name string, xs []float64, cdf []float64) {
 
 // seqCDF computes the exact dispersion CDF of a Sequential variant with an
 // adaptive horizon: doubled until the tail mass is negligible.
-func seqCDF(t *testing.T, g *graph.Graph, v exact.SeqVariant) []float64 {
+func seqCDF(t *testing.T, g *graph.CSR, v exact.SeqVariant) []float64 {
 	t.Helper()
 	for T := 256; T <= 8192; T *= 2 {
 		cdf, err := exact.SeqDispersionCDF(g, 0, v, T)
@@ -89,7 +89,7 @@ func seqCDF(t *testing.T, g *graph.Graph, v exact.SeqVariant) []float64 {
 }
 
 // capacityCDF is seqCDF for the capacity process.
-func capacityCDF(t *testing.T, g *graph.Graph, c, k int) []float64 {
+func capacityCDF(t *testing.T, g *graph.CSR, c, k int) []float64 {
 	t.Helper()
 	for T := 256; T <= 8192; T *= 2 {
 		cdf, err := exact.CapacityDispersionCDF(g, 0, c, k, T)

@@ -47,7 +47,7 @@ func masksByPopcount(n int) []uint32 {
 // exactTotalStepsParticles computes E[TotalSteps] of the Sequential
 // process with k particles from a fixed origin: the subset DP of
 // exact.Sequential.ExpectedTotalSteps truncated after k settlements.
-func exactTotalStepsParticles(t *testing.T, g *graph.Graph, origin, k int) float64 {
+func exactTotalStepsParticles(t *testing.T, g *graph.CSR, origin, k int) float64 {
 	t.Helper()
 	e, err := exact.NewSequential(g, origin)
 	if err != nil {
@@ -77,7 +77,7 @@ func exactTotalStepsParticles(t *testing.T, g *graph.Graph, origin, k int) float
 // a subset DP over one exact solver per origin. A particle starting on a
 // vacant vertex settles there with zero steps; one starting on an
 // occupied vertex u walks with u's absorption law.
-func exactTotalStepsRandomOrigins(t *testing.T, g *graph.Graph, k int) float64 {
+func exactTotalStepsRandomOrigins(t *testing.T, g *graph.CSR, k int) float64 {
 	t.Helper()
 	n := g.N()
 	solvers := make([]*exact.Sequential, n)
@@ -150,11 +150,11 @@ func checkMean(t *testing.T, name string, got, stderr, want float64) {
 // not (the star's harmonic measures are strongly origin-dependent).
 func propGraphs() []struct {
 	name string
-	g    *graph.Graph
+	g    *graph.CSR
 } {
 	return []struct {
 		name string
-		g    *graph.Graph
+		g    *graph.CSR
 	}{
 		{"complete-5", graph.Complete(5)},
 		{"star-5", graph.Star(5)},

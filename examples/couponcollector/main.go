@@ -22,7 +22,7 @@ func main() {
 	fmt.Printf("κ_cc (Lemma 5.1, numeric integral) = %.4f\n", kcc)
 	fmt.Printf("π²/6                               = %.4f\n\n", bounds.PiSquaredOver6)
 
-	sample := func(g *dispersion.Graph, process string, trials int, seed, experiment uint64) []float64 {
+	sample := func(g dispersion.Graph, process string, trials int, seed, experiment uint64) []float64 {
 		eng := dispersion.Engine{Seed: seed, Experiment: experiment}
 		xs, err := eng.Sample(ctx, dispersion.Job{Process: process, Graph: g, Trials: trials})
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"dispersion"
 	"dispersion/graphspec"
+	"dispersion/internal/graph"
 	"dispersion/internal/stats"
 )
 
@@ -25,7 +26,12 @@ func main() {
 		log.Fatal(err)
 	}
 	const trials = 150
-	fmt.Printf("network: %s, %d servers, diameter %d\n\n", net.Name(), net.N(), net.Diameter())
+	// regular:N,D builds a CSR backend; materialize for the BFS diameter.
+	csr, err := graph.Materialize(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s, %d servers, diameter %d\n\n", net.Name(), net.N(), csr.Diameter())
 
 	job := func(process string) dispersion.Job {
 		return dispersion.Job{Process: process, Graph: net, Trials: trials}

@@ -1,0 +1,55 @@
+// Million-vertex dispersion: the implicit graph backends evaluate
+// neighbourhoods by arithmetic instead of stored adjacency, and sparse
+// occupancy keeps the per-run state at O(particles), so graph families at
+// n = 10^6 and beyond run on a laptop. This example disperses 4096
+// particles on a 2048x2048 torus (n ≈ 4.2 million) and on an implicit
+// random-regular expander of the same size, folds every trial into a
+// mergeable summary, and reports how little memory the whole thing held
+// on to — against the hundreds of MiB the adjacency alone would cost.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+
+	"dispersion"
+	"dispersion/agg"
+)
+
+func main() {
+	ctx := context.Background()
+	const (
+		particles = 4096
+		trials    = 8
+	)
+	for _, spec := range []string{"torus:2048x2048", "rregular:4194304,4"} {
+		eng := dispersion.Engine{Seed: 7, Experiment: 42, ReuseResults: true}
+		sum := agg.NewSummary()
+		err := eng.Run(ctx, dispersion.Job{
+			Process: "sequential",
+			Spec:    spec,
+			Trials:  trials,
+			Options: []dispersion.Option{dispersion.WithParticles(particles)},
+		}, func(t dispersion.Trial) error {
+			sum.Add(t.Result)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Printf("%-20s %d trials of %d particles\n", spec, trials, particles)
+		fmt.Printf("  makespan        mean %.0f steps, p99 %.0f\n",
+			sum.Makespan.Moments.Mean(), sum.Makespan.Quantiles.Query(0.99))
+		fmt.Printf("  live heap       %.1f MiB (adjacency for this size would be hundreds of MiB)\n\n",
+			float64(m.HeapAlloc)/(1<<20))
+	}
+	fmt.Println("The same specs work everywhere a spec string goes: the HTTP")
+	fmt.Println("server's summary_only jobs and the shard coordinator's sketch")
+	fmt.Println("merge run them in O(particles + sketch) memory per machine.")
+}

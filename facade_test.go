@@ -13,17 +13,17 @@ import (
 // coreRunner invokes the matching internal/core entry point directly,
 // returning the discrete result and, for continuous processes, the CT
 // wrapper.
-type coreRunner func(g *graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error)
+type coreRunner func(g graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error)
 
-func discreteRunner(f func(*graph.Graph, int, core.Options, *rng.Source) (*core.Result, error)) coreRunner {
-	return func(g *graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error) {
+func discreteRunner(f func(graph.Graph, int, core.Options, *rng.Source) (*core.Result, error)) coreRunner {
+	return func(g graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error) {
 		res, err := f(g, origin, opt, r)
 		return res, nil, err
 	}
 }
 
-func ctRunner(f func(*graph.Graph, int, core.Options, *rng.Source) (*core.CTResult, error)) coreRunner {
-	return func(g *graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error) {
+func ctRunner(f func(graph.Graph, int, core.Options, *rng.Source) (*core.CTResult, error)) coreRunner {
+	return func(g graph.Graph, origin int, opt core.Options, r *rng.Source) (*core.Result, *core.CTResult, error) {
 		res, err := f(g, origin, opt, r)
 		if err != nil {
 			return nil, nil, err

@@ -17,6 +17,12 @@ func FuzzParse(f *testing.F) {
 		"pimple:96,4", "treepath:10,32", "bintree:9", "lollipop:32", "hair:96",
 		"", ":", "complete", "complete:", ":128", "torus:4x4:extra",
 		"complete:1:2", "gnp:64,0.5,9", "unknown:1", "COMPLETE:8", "torus:4xx4",
+		// Implicit-backend syntaxes: the circulant offset list and the
+		// seeded random-regular family, plus malformed variants.
+		"circulant:256,1,7,31", "circulant:12,3,6", "circulant:9,",
+		"circulant:8,1,1", "circulant:7,-2", "circulant:2,1,x",
+		"rregular:1000000,4", "rregular:30,3", "rregular:16,", "rregular:,4",
+		"rregular:16,4,9", "torus:1024x1024", "torus:0x4", "torus:2x2",
 	} {
 		f.Add(seed)
 	}

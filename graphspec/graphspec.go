@@ -3,11 +3,22 @@
 //
 //	path:N  cycle:N  complete:N  star:N  hypercube:K  bintree:LEVELS
 //	lollipop:N  hair:N  pimple:N,H  treepath:LEVELS,PATHLEN
-//	grid:AxB[xC...]  torus:AxB[xC...]  regular:N,D  gnp:N,P  tree:N
+//	grid:AxB[xC...]  torus:AxB[xC...]  circulant:N,S1[,S2...]
+//	regular:N,D  rregular:N,D  gnp:N,P  tree:N
 //
 // A spec names a graph family and its parameters; random families
-// (regular, gnp, tree) are drawn deterministically from a caller-supplied
-// seed, so the same (spec, seed) pair always builds the same graph.
+// (regular, rregular, gnp, tree) are drawn deterministically from a
+// caller-supplied seed, so the same (spec, seed) pair always builds the
+// same graph.
+//
+// Because the spec carries the family's full structure, Build can choose
+// the graph backend without constructing edges: generated families whose
+// adjacency is pure arithmetic (torus, circulant, rregular, and the
+// complete/cycle/path closed forms, plus cache-hostile hypercubes) come
+// back as adjacency-free implicit graphs in O(1) memory, while irregular
+// constructions and the rejection-sampled random families (regular, gnp,
+// tree) build CSR adjacency as before. The backends are step-for-step
+// bit-identical, so the choice never changes a simulation's sample path.
 //
 // Parse performs the syntax split and validates the family name; Build
 // constructs the graph. The one-shot helper Build(spec, seed) does both.
@@ -35,8 +46,8 @@ type Spec struct {
 // String renders the spec back to its textual kind:args form.
 func (s Spec) String() string { return s.Kind + ":" + s.Args }
 
-// Random reports whether the family is drawn from the seed (regular, gnp,
-// tree) rather than being a deterministic construction.
+// Random reports whether the family is drawn from the seed (regular,
+// rregular, gnp, tree) rather than being a deterministic construction.
 func (s Spec) Random() bool {
 	b, ok := builders[s.Kind]
 	return ok && b.random
@@ -58,7 +69,7 @@ func Parse(spec string) (Spec, error) {
 
 // Build constructs the graph described by the spec. Random families are
 // drawn deterministically from seed; deterministic families ignore it.
-func (s Spec) Build(seed uint64) (*graph.Graph, error) {
+func (s Spec) Build(seed uint64) (graph.Graph, error) {
 	b, ok := builders[s.Kind]
 	if !ok {
 		return nil, fmt.Errorf("graphspec: unknown graph kind %q", s.Kind)
@@ -67,7 +78,7 @@ func (s Spec) Build(seed uint64) (*graph.Graph, error) {
 }
 
 // Build is the one-shot helper: Parse followed by Spec.Build.
-func Build(spec string, seed uint64) (*graph.Graph, error) {
+func Build(spec string, seed uint64) (graph.Graph, error) {
 	s, err := Parse(spec)
 	if err != nil {
 		return nil, err
@@ -88,27 +99,76 @@ func Kinds() []string {
 // builder couples a family's constructor with whether it consumes the seed.
 type builder struct {
 	random bool
-	build  func(s Spec, r *rng.Source) (*graph.Graph, error)
+	build  func(s Spec, r *rng.Source) (graph.Graph, error)
 }
 
 var builders = map[string]builder{
-	"path":      {build: intArg(graph.Path)},
-	"cycle":     {build: intArg(graph.Cycle)},
-	"complete":  {build: intArg(graph.Complete)},
-	"star":      {build: intArg(graph.Star)},
-	"hypercube": {build: intArg(graph.Hypercube)},
-	"bintree":   {build: intArg(graph.CompleteBinaryTree)},
-	"lollipop":  {build: intArg(graph.Lollipop)},
-	"hair":      {build: intArg(graph.CliqueWithHair)},
-	"pimple": {build: intPairArg("N,H", func(n, h int) *graph.Graph {
+	"path": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		n, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		if n >= 2 {
+			return graph.ImplicitPath(n), nil
+		}
+		return graph.Path(n), nil
+	}},
+	"cycle": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		n, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		if n >= 3 {
+			return graph.ImplicitCycle(n), nil
+		}
+		return graph.Cycle(n), nil
+	}},
+	"complete": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		n, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		if n >= 2 {
+			return graph.ImplicitComplete(n), nil
+		}
+		return graph.Complete(n), nil
+	}},
+	"hypercube": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		k, err := atoi(s, s.Args)
+		if err != nil {
+			return nil, err
+		}
+		// Small hypercubes walk faster on a cache-resident CSR adjacency
+		// (see the footprint gate in internal/graph); large ones go
+		// implicit, which is also the only way to fit k >= 27 in RAM.
+		if k >= 1 && k <= 30 && !graph.HypercubePrefersCSR(k) {
+			return graph.ImplicitHypercube(k), nil
+		}
+		return graph.Hypercube(k), nil
+	}},
+	"star":     {build: intArg(graph.Star)},
+	"bintree":  {build: intArg(graph.CompleteBinaryTree)},
+	"lollipop": {build: intArg(graph.Lollipop)},
+	"hair":     {build: intArg(graph.CliqueWithHair)},
+	"pimple": {build: intPairArg("N,H", func(n, h int) *graph.CSR {
 		return graph.CliqueWithHairOnPimple(n, h)
 	})},
-	"treepath": {build: intPairArg("LEVELS,PATHLEN", func(lv, pl int) *graph.Graph {
+	"treepath": {build: intPairArg("LEVELS,PATHLEN", func(lv, pl int) *graph.CSR {
 		return graph.BinaryTreeWithPath(lv, pl)
 	})},
 	"grid":  {build: gridArg},
 	"torus": {build: gridArg},
-	"regular": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+	"circulant": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		vs, err := ints(s, s.Args, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) < 2 {
+			return nil, fmt.Errorf("graphspec: circulant wants N,S1[,S2...]")
+		}
+		return graph.ImplicitCirculant(vs[0], vs[1:])
+	}},
+	"regular": {random: true, build: func(s Spec, r *rng.Source) (graph.Graph, error) {
 		vs, err := ints(s, s.Args, ",")
 		if err != nil {
 			return nil, err
@@ -118,7 +178,19 @@ var builders = map[string]builder{
 		}
 		return graph.RandomRegular(vs[0], vs[1], r)
 	}},
-	"gnp": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+	"rregular": {random: true, build: func(s Spec, r *rng.Source) (graph.Graph, error) {
+		vs, err := ints(s, s.Args, ",")
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != 2 {
+			return nil, fmt.Errorf("graphspec: rregular wants N,D")
+		}
+		// The permutation seed is a fixed function of the build seed, so
+		// (spec, seed) pins the instance like every other random family.
+		return graph.ImplicitRandomRegular(vs[0], vs[1], r.Uint64())
+	}},
+	"gnp": {random: true, build: func(s Spec, r *rng.Source) (graph.Graph, error) {
 		nStr, pStr, ok := strings.Cut(s.Args, ",")
 		if !ok {
 			return nil, fmt.Errorf("graphspec: gnp wants N,P")
@@ -133,7 +205,7 @@ var builders = map[string]builder{
 		}
 		return graph.GNP(n, p, r)
 	}},
-	"tree": {random: true, build: func(s Spec, r *rng.Source) (*graph.Graph, error) {
+	"tree": {random: true, build: func(s Spec, r *rng.Source) (graph.Graph, error) {
 		n, err := atoi(s, s.Args)
 		if err != nil {
 			return nil, err
@@ -163,9 +235,9 @@ func ints(s Spec, v, sep string) ([]int, error) {
 	return out, nil
 }
 
-// intArg adapts a single-integer constructor.
-func intArg(ctor func(int) *graph.Graph) func(Spec, *rng.Source) (*graph.Graph, error) {
-	return func(s Spec, _ *rng.Source) (*graph.Graph, error) {
+// intArg adapts a single-integer CSR constructor.
+func intArg(ctor func(int) *graph.CSR) func(Spec, *rng.Source) (graph.Graph, error) {
+	return func(s Spec, _ *rng.Source) (graph.Graph, error) {
 		n, err := atoi(s, s.Args)
 		if err != nil {
 			return nil, err
@@ -174,9 +246,9 @@ func intArg(ctor func(int) *graph.Graph) func(Spec, *rng.Source) (*graph.Graph, 
 	}
 }
 
-// intPairArg adapts a two-integer constructor.
-func intPairArg(want string, ctor func(a, b int) *graph.Graph) func(Spec, *rng.Source) (*graph.Graph, error) {
-	return func(s Spec, _ *rng.Source) (*graph.Graph, error) {
+// intPairArg adapts a two-integer CSR constructor.
+func intPairArg(want string, ctor func(a, b int) *graph.CSR) func(Spec, *rng.Source) (graph.Graph, error) {
+	return func(s Spec, _ *rng.Source) (graph.Graph, error) {
 		vs, err := ints(s, s.Args, ",")
 		if err != nil {
 			return nil, err
@@ -188,10 +260,21 @@ func intPairArg(want string, ctor func(a, b int) *graph.Graph) func(Spec, *rng.S
 	}
 }
 
-func gridArg(s Spec, _ *rng.Source) (*graph.Graph, error) {
+func gridArg(s Spec, _ *rng.Source) (graph.Graph, error) {
 	sides, err := ints(s, s.Args, "x")
 	if err != nil {
 		return nil, err
 	}
-	return graph.Grid(sides, s.Kind == "torus"), nil
+	if s.Kind == "torus" {
+		// The torus is the flagship implicit family: the spec's sides are
+		// all Build needs, so no adjacency is ever constructed. Shapes
+		// the implicit backend cannot express (no effective dimension, or
+		// more than it can buffer) fall back to the CSR Grid, which
+		// applies the same side validations.
+		if g, err := graph.ImplicitTorus(sides); err == nil {
+			return g, nil
+		}
+		return graph.Grid(sides, true), nil
+	}
+	return graph.Grid(sides, false), nil
 }

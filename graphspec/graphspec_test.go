@@ -3,6 +3,8 @@ package graphspec
 import (
 	"reflect"
 	"testing"
+
+	"dispersion/internal/graph"
 )
 
 func TestBuildValid(t *testing.T) {
@@ -25,6 +27,8 @@ func TestBuildValid(t *testing.T) {
 		{"regular:16,3", 16},
 		{"gnp:30,0.4", 30},
 		{"tree:25", 25},
+		{"circulant:20,1,3", 20},
+		{"rregular:24,4", 24},
 	}
 	for _, c := range cases {
 		g, err := Build(c.spec, 1)
@@ -50,7 +54,15 @@ func TestBuildDeterministicRandomFamilies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+	ac, err := graph.Materialize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := graph.Materialize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ac.Edges(), bc.Edges()) {
 		t.Fatal("same seed, different graphs")
 	}
 }
@@ -59,6 +71,9 @@ func TestBuildInvalid(t *testing.T) {
 	for _, spec := range []string{
 		"", "nosep", "unknown:5", "path:abc", "pimple:5", "gnp:10",
 		"gnp:10,notafloat", "grid:3xq", "regular:7,3", // odd n*d
+		"circulant:12", "circulant:8,0", "circulant:8,5", // offset > n/2
+		"circulant:12,3,6,3",                            // repeated offset
+		"rregular:16", "rregular:16,3", "rregular:16,0", // odd / zero degree
 	} {
 		if _, err := Build(spec, 1); err == nil {
 			t.Errorf("spec %q accepted", spec)
@@ -91,7 +106,8 @@ func TestParse(t *testing.T) {
 func TestRandomFamilies(t *testing.T) {
 	for spec, want := range map[string]bool{
 		"regular:16,3": true, "gnp:10,0.5": true, "tree:12": true,
-		"complete:8": false, "grid:3x3": false,
+		"rregular:16,4": true,
+		"complete:8":    false, "grid:3x3": false, "circulant:8,1": false,
 	} {
 		s, err := Parse(spec)
 		if err != nil {

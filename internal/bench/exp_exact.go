@@ -22,7 +22,7 @@ func init() {
 func runExactGroundTruth(cfg Config) (*Report, error) {
 	trials := cfg.scaled(4000, 800)
 	tbl := &Table{Columns: []string{"graph", "E[τ_seq] exact", "E[τ_seq] sim", "E[τ_par] exact", "E[τ_par] sim", "exact domination"}}
-	graphs := []*graph.Graph{graph.Complete(6), graph.Cycle(6), graph.Star(6), graph.Path(5)}
+	graphs := []*graph.CSR{graph.Complete(6), graph.Cycle(6), graph.Star(6), graph.Path(5)}
 	pass := true
 	const T = 800
 	for gi, g := range graphs {

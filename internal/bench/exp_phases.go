@@ -36,7 +36,7 @@ func runHalfSettlement(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	type fam struct {
-		g      *graph.Graph
+		g      *graph.CSR
 		mixCap int
 	}
 	fams := []fam{

@@ -90,7 +90,7 @@ func init() {
 func runDomination(cfg Config) (*Report, error) {
 	tbl := &Table{Columns: []string{"graph", "E[τ_seq]", "E[τ_par]", "ECDF seq⪯par", "MW p (seq<par)", "KS p (total steps)"}}
 	trials := cfg.scaled(500, 120)
-	graphs := []*graph.Graph{graph.Complete(48), graph.Cycle(24), graph.CompleteBinaryTree(5)}
+	graphs := []*graph.CSR{graph.Complete(48), graph.Cycle(24), graph.CompleteBinaryTree(5)}
 	pass := true
 	var lastP float64
 	for gi, g := range graphs {
@@ -124,7 +124,7 @@ func runLazyFactor(cfg Config) (*Report, error) {
 	tbl := &Table{Columns: []string{"graph", "process", "plain", "lazy", "ratio"}}
 	trials := cfg.scaled(200, 100)
 	type job struct {
-		g *graph.Graph
+		g *graph.CSR
 		p Process
 	}
 	jobs := []job{
@@ -159,7 +159,7 @@ func runLazyFactor(cfg Config) (*Report, error) {
 func runCTU(cfg Config) (*Report, error) {
 	tbl := &Table{Columns: []string{"graph", "E[τ_par]", "E[τ_CTU]", "ratio"}}
 	trials := cfg.scaled(200, 50)
-	graphs := []*graph.Graph{graph.Complete(128), graph.Hypercube(7)}
+	graphs := []*graph.CSR{graph.Complete(128), graph.Hypercube(7)}
 	pass := true
 	var lastRatio float64
 	for gi, g := range graphs {
@@ -282,7 +282,7 @@ func runLeastAction(cfg Config) (*Report, error) {
 func runUpperBounds(cfg Config) (*Report, error) {
 	tbl := &Table{Columns: []string{"graph", "t_hit", "bound 6·t_hit·log2 n", "max τ_par observed", "margin"}}
 	trials := cfg.scaled(120, 30)
-	graphs := []*graph.Graph{
+	graphs := []*graph.CSR{
 		graph.Complete(64), graph.Cycle(64), graph.Path(64), graph.Star(64),
 		graph.Hypercube(6), graph.CompleteBinaryTree(6), graph.Lollipop(32),
 		graph.Grid([]int{8, 8}, true), graph.Comb(8, 7), graph.Barbell(16, 8),
@@ -401,7 +401,7 @@ func runUniformDomination(cfg Config) (*Report, error) {
 	trials := cfg.scaled(500, 120)
 	tbl := &Table{Columns: []string{"graph", "E[longest] uniform", "E[longest] parallel", "ECDF unif⪯par"}}
 	pass := true
-	for gi, g := range []*graph.Graph{graph.Complete(64), graph.Cycle(24)} {
+	for gi, g := range []*graph.CSR{graph.Complete(64), graph.Cycle(24)} {
 		base := uint64(0x1900 + gi*4)
 		u := SampleDispersion(g, 0, Unif, core.Options{}, trials, cfg.Seed, base)
 		p := SampleDispersion(g, 0, Par, core.Options{}, trials, cfg.Seed, base+1)

@@ -28,7 +28,7 @@ func runVariants(cfg Config) (*Report, error) {
 	trials := cfg.scaled(200, 50)
 	tbl := &Table{Columns: []string{"graph", "variant", "E[τ_par]", "±"}}
 	pass := true
-	for gi, g := range []*graph.Graph{graph.Complete(96), graph.Hypercube(6)} {
+	for gi, g := range []*graph.CSR{graph.Complete(96), graph.Hypercube(6)} {
 		n := g.N()
 		var byK []float64
 		var lastErr float64
@@ -68,7 +68,7 @@ func runConjectures(cfg Config) (*Report, error) {
 	trials := cfg.scaled(150, 40)
 	coverTrials := cfg.scaled(150, 40)
 	tbl := &Table{Columns: []string{"graph", "t_seq", "t_par", "t_cov", "t_par - t_seq", "t_par/t_seq"}}
-	graphs := []*graph.Graph{
+	graphs := []*graph.CSR{
 		graph.Complete(96), graph.Cycle(48), graph.Star(64),
 		graph.Hypercube(6), graph.CompleteBinaryTree(5), graph.Lollipop(24),
 		graph.CliqueWithHair(48),

@@ -18,9 +18,14 @@ import (
 //
 // Deprecated: ParseGraph is kept for the internal harness; new code
 // should use the public dispersion/graphspec package, which this
-// delegates to.
-func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
-	return graphspec.Build(spec, seed)
+// delegates to. The harness experiments need adjacency (exact solvers,
+// spectra), so implicit backends are materialized to CSR here.
+func ParseGraph(spec string, seed uint64) (*graph.CSR, error) {
+	g, err := graphspec.Build(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Materialize(g)
 }
 
 // ParseProcess maps a CLI name to a Process.

@@ -43,7 +43,7 @@ func (p Process) String() string {
 // process and returns the dispersion times (real time for the
 // continuous-time variants). Trials run across all cores but are
 // deterministic in (seed, expID, trial).
-func SampleDispersion(g *graph.Graph, origin int, p Process, opt core.Options,
+func SampleDispersion(g *graph.CSR, origin int, p Process, opt core.Options,
 	trials int, seed, expID uint64) []float64 {
 	rn := walk.NewRunner(seed, expID)
 	return rn.Run(trials, func(_ int, r *rng.Source) float64 {
@@ -75,7 +75,7 @@ func SampleDispersion(g *graph.Graph, origin int, p Process, opt core.Options,
 
 // SampleTotalSteps returns the total number of jumps of all particles per
 // trial for the chosen process.
-func SampleTotalSteps(g *graph.Graph, origin int, p Process, opt core.Options,
+func SampleTotalSteps(g *graph.CSR, origin int, p Process, opt core.Options,
 	trials int, seed, expID uint64) []float64 {
 	rn := walk.NewRunner(seed, expID)
 	return rn.Run(trials, func(_ int, r *rng.Source) float64 {
@@ -97,14 +97,14 @@ func SampleTotalSteps(g *graph.Graph, origin int, p Process, opt core.Options,
 }
 
 // MeanDispersion is SampleDispersion reduced to a Summary.
-func MeanDispersion(g *graph.Graph, origin int, p Process, opt core.Options,
+func MeanDispersion(g *graph.CSR, origin int, p Process, opt core.Options,
 	trials int, seed, expID uint64) stats.Summary {
 	return stats.Summarize(SampleDispersion(g, origin, p, opt, trials, seed, expID))
 }
 
 // SampleCoverTime estimates the cover time of the simple random walk from
 // the origin.
-func SampleCoverTime(g *graph.Graph, origin int, trials int, seed, expID uint64) stats.Summary {
+func SampleCoverTime(g *graph.CSR, origin int, trials int, seed, expID uint64) stats.Summary {
 	rn := walk.NewRunner(seed, expID)
 	xs := rn.Run(trials, func(_ int, r *rng.Source) float64 {
 		steps, ok := walk.CoverTime(g, origin, 1<<40, r)

@@ -33,7 +33,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	trials := cfg.scaled(120, 25)
 	coverTrials := cfg.scaled(200, 40)
 	type fam struct {
-		g          *graph.Graph
+		g          *graph.CSR
 		origin     int
 		mixCap     int
 		pc, ph, pm string

@@ -136,7 +136,7 @@ func (b *Block) CheckEndpoints() error {
 
 // CheckWalks verifies every row is a walk in g starting at origin.
 // allowStay permits repeated consecutive vertices (lazy walks).
-func (b *Block) CheckWalks(g *graph.Graph, origin int, allowStay bool) error {
+func (b *Block) CheckWalks(g *graph.CSR, origin int, allowStay bool) error {
 	for i, row := range b.Rows {
 		if len(row) == 0 {
 			return fmt.Errorf("block: row %d empty", i)

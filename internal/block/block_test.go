@@ -9,8 +9,8 @@ import (
 	"dispersion/internal/rng"
 )
 
-func testGraphs() []*graph.Graph {
-	return []*graph.Graph{
+func testGraphs() []*graph.CSR {
+	return []*graph.CSR{
 		graph.Path(9),
 		graph.Cycle(10),
 		graph.Complete(12),
@@ -22,7 +22,7 @@ func testGraphs() []*graph.Graph {
 	}
 }
 
-func recordSequential(t *testing.T, g *graph.Graph, seed uint64) *Block {
+func recordSequential(t *testing.T, g *graph.CSR, seed uint64) *Block {
 	t.Helper()
 	res, err := core.Sequential(g, 0, core.Options{Record: true}, rng.New(seed))
 	if err != nil {
@@ -35,7 +35,7 @@ func recordSequential(t *testing.T, g *graph.Graph, seed uint64) *Block {
 	return b
 }
 
-func recordParallel(t *testing.T, g *graph.Graph, seed uint64) *Block {
+func recordParallel(t *testing.T, g *graph.CSR, seed uint64) *Block {
 	t.Helper()
 	res, err := core.Parallel(g, 0, core.Options{Record: true}, rng.New(seed))
 	if err != nil {

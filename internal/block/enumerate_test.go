@@ -9,7 +9,7 @@ import (
 
 // enumerateSequential returns every realization of the Sequential-IDLA on
 // g from origin with total length <= maxLen, by DFS over all walk choices.
-func enumerateSequential(g *graph.Graph, origin, maxLen int) []*Block {
+func enumerateSequential(g *graph.CSR, origin, maxLen int) []*Block {
 	n := g.N()
 	var out []*Block
 	var rows [][]int32
@@ -53,7 +53,7 @@ func enumerateSequential(g *graph.Graph, origin, maxLen int) []*Block {
 // enumerateParallel returns every realization of the Parallel-IDLA on g
 // from origin with total length <= maxLen, by DFS over the joint choices
 // of all unsettled particles each round.
-func enumerateParallel(g *graph.Graph, origin, maxLen int) []*Block {
+func enumerateParallel(g *graph.CSR, origin, maxLen int) []*Block {
 	n := g.N()
 	var out []*Block
 
@@ -138,7 +138,7 @@ func key(b *Block) string {
 // PtS as its inverse.
 func TestExhaustiveBijection(t *testing.T) {
 	cases := []struct {
-		g      *graph.Graph
+		g      *graph.CSR
 		maxLen int
 	}{
 		{graph.Complete(3), 8},

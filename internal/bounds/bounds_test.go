@@ -68,7 +68,7 @@ func TestHarmonicKnown(t *testing.T) {
 
 func TestTheorem31HoldsOnFamilies(t *testing.T) {
 	// The bound 6·t_hit·log2 n must exceed measured dispersion times.
-	families := []*graph.Graph{
+	families := []*graph.CSR{
 		graph.Complete(32),
 		graph.Cycle(32),
 		graph.Path(32),
@@ -100,7 +100,7 @@ func TestTheorem31HoldsOnFamilies(t *testing.T) {
 func TestTreeLowerHolds(t *testing.T) {
 	// t_seq(T) >= 2n-3 in expectation for trees; means over trials clear it.
 	root := rng.New(5)
-	for _, g := range []*graph.Graph{graph.Star(20), graph.Path(20), graph.CompleteBinaryTree(4)} {
+	for _, g := range []*graph.CSR{graph.Star(20), graph.Path(20), graph.CompleteBinaryTree(4)} {
 		const trials = 300
 		var sum float64
 		for i := 0; i < trials; i++ {
@@ -115,7 +115,7 @@ func TestTreeLowerHolds(t *testing.T) {
 
 func TestEdgeDegreeLowerHolds(t *testing.T) {
 	root := rng.New(6)
-	for _, g := range []*graph.Graph{graph.Complete(24), graph.Cycle(24), graph.Hypercube(4)} {
+	for _, g := range []*graph.CSR{graph.Complete(24), graph.Cycle(24), graph.Hypercube(4)} {
 		const trials = 300
 		var sum float64
 		for i := 0; i < trials; i++ {
@@ -130,7 +130,7 @@ func TestEdgeDegreeLowerHolds(t *testing.T) {
 }
 
 func TestGeneralWorstHittingDominatesFamilies(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.Lollipop(24), graph.Path(24), graph.Complete(24)} {
+	for _, g := range []*graph.CSR{graph.Lollipop(24), graph.Path(24), graph.Complete(24)} {
 		h, err := markov.NewHitting(g)
 		if err != nil {
 			t.Fatal(err)
@@ -144,7 +144,7 @@ func TestGeneralWorstHittingDominatesFamilies(t *testing.T) {
 }
 
 func TestRegularWorstHittingDominatesRegularFamilies(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.Cycle(24), graph.Complete(24), graph.Hypercube(4)} {
+	for _, g := range []*graph.CSR{graph.Cycle(24), graph.Complete(24), graph.Hypercube(4)} {
 		h, err := markov.NewHitting(g)
 		if err != nil {
 			t.Fatal(err)

@@ -10,8 +10,8 @@ import (
 
 // variantRuns maps each new variant process's one-shot form for
 // table-driven tests.
-func variantRuns() map[string]func(*graph.Graph, int, Options, *rng.Source) (*Result, error) {
-	return map[string]func(*graph.Graph, int, Options, *rng.Source) (*Result, error){
+func variantRuns() map[string]func(graph.Graph, int, Options, *rng.Source) (*Result, error) {
+	return map[string]func(graph.Graph, int, Options, *rng.Source) (*Result, error){
 		"sequential-geom":      SequentialGeom,
 		"sequential-threshold": SequentialThreshold,
 		"capacity":             CapacitySequential,
@@ -47,7 +47,7 @@ func TestVariantRecordMatchesHotPath(t *testing.T) {
 // through one Scratch reproduce independent one-shot runs draw for draw.
 func TestVariantIntoReuse(t *testing.T) {
 	g := graph.Star(9)
-	intos := map[string]func(*graph.Graph, int, Options, *rng.Source, *Scratch, *Result) error{
+	intos := map[string]func(graph.Graph, int, Options, *rng.Source, *Scratch, *Result) error{
 		"sequential-geom":      SequentialGeomInto,
 		"sequential-threshold": SequentialThresholdInto,
 		"capacity":             CapacitySequentialInto,
@@ -77,7 +77,7 @@ func TestVariantIntoReuse(t *testing.T) {
 // vertex, partial loads never exceed c anywhere.
 func TestCapacityOccupancy(t *testing.T) {
 	g := graph.Cycle(12)
-	for name, run := range map[string]func(*graph.Graph, int, Options, *rng.Source) (*Result, error){
+	for name, run := range map[string]func(graph.Graph, int, Options, *rng.Source) (*Result, error){
 		"capacity": CapacitySequential, "capacity-parallel": CapacityParallel,
 	} {
 		for _, opt := range []Options{

@@ -39,7 +39,7 @@ func (res *Result) UnsettledAtClock(clock int64) int {
 // settlement clock is non-decreasing, the recorded dispersion equals the
 // max step count, and recorded trajectories (if any) are genuine walks
 // ending at the settlement vertex. It is used by tests and the examples.
-func (res *Result) Check(g *graph.Graph) error {
+func (res *Result) Check(g graph.Graph) error {
 	if res.Truncated {
 		return fmt.Errorf("core: truncated run cannot be checked")
 	}
@@ -81,13 +81,17 @@ func (res *Result) Check(g *graph.Graph) error {
 		}
 	}
 	if res.Trajectories != nil {
+		ec, hasEC := g.(graph.EdgeChecker)
+		if !hasEC {
+			return fmt.Errorf("core: %s backend cannot verify recorded trajectories (no edge test)", g.Name())
+		}
 		for i, traj := range res.Trajectories {
 			if int64(len(traj)) != res.Steps[i]+1 {
 				return fmt.Errorf("core: particle %d trajectory length %d != steps+1 %d",
 					i, len(traj), res.Steps[i]+1)
 			}
 			for j := 1; j < len(traj); j++ {
-				if traj[j] != traj[j-1] && !g.HasEdge(int(traj[j-1]), int(traj[j])) {
+				if traj[j] != traj[j-1] && !ec.HasEdge(int(traj[j-1]), int(traj[j])) {
 					return fmt.Errorf("core: particle %d trajectory has non-edge %d->%d",
 						i, traj[j-1], traj[j])
 				}

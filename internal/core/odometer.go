@@ -21,7 +21,7 @@ type Odometer struct {
 
 // NewOdometer derives the odometer of a recorded run. It requires
 // Options.Record to have been set.
-func NewOdometer(g *graph.Graph, res *Result) (*Odometer, error) {
+func NewOdometer(g graph.Graph, res *Result) (*Odometer, error) {
 	if res.Trajectories == nil {
 		return nil, fmt.Errorf("core: odometer needs recorded trajectories")
 	}

@@ -185,7 +185,7 @@ func (res *Result) Unsettled() int {
 // validateRun checks the (graph, origin) inputs shared by every process.
 // Connectivity is cached at graph build time, so the check is cheap enough
 // for the per-trial hot path.
-func validateRun(g *graph.Graph, origin int) error {
+func validateRun(g graph.Graph, origin int) error {
 	if origin < 0 || origin >= g.N() {
 		return fmt.Errorf("core: origin %d out of range [0,%d)", origin, g.N())
 	}
@@ -207,7 +207,7 @@ func step(kern graph.Kernel, v int32, lazy bool, r *rng.Source) int32 {
 // Sequential runs the Sequential-IDLA process on g from origin: particles
 // move one at a time, each walking until it settles, and only then does
 // the next particle start. Particle 0 settles at the origin instantly.
-func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func Sequential(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := SequentialInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -219,7 +219,7 @@ func Sequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result
 // its occupancy map from the given Scratch (nil allocates a transient
 // one). res is fully overwritten, reusing its backing arrays; the RNG
 // stream consumed is identical to Sequential's.
-func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func SequentialInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -232,26 +232,23 @@ func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *S
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
 	rule := opt.Rule
-	// Hoist the occupancy stamps into locals: the scratch pointer escapes
-	// into the kernel call below, so indexing through s would reload the
-	// slice header and epoch on every iteration of the innermost loop.
-	occ, epoch := s.occ, s.epoch
 	if rule == nil && !opt.Record {
 		// Hot path: the entire settlement walk of each particle runs as
-		// one kernel call, so the per-step arithmetic (including the RNG)
-		// inlines into the kernel's concrete loop instead of paying an
-		// interface dispatch per step. Draw-for-draw identical to the
-		// general loop below.
+		// one scratch-dispatched kernel call (the fused dense loop, or the
+		// draw-identical sparse Step loop), so the per-step arithmetic
+		// (including the RNG) inlines into the kernel's concrete loop
+		// instead of paying an interface dispatch per step. Draw-for-draw
+		// identical to the general loop below.
 		for i := 0; i < k; i++ {
 			v := opt.startVertex(origin, n, r)
 			budget := int64(math.MaxInt64)
 			if opt.MaxSteps > 0 {
 				budget = opt.MaxSteps - res.TotalSteps
 			}
-			v, steps := kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			v, steps := s.walkUntilVacant(kern, v, opt.Lazy, budget, r)
 			res.TotalSteps += steps
 			if steps >= budget {
 				// The MaxSteps guard fires mid-walk, exactly as the
@@ -261,7 +258,7 @@ func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *S
 				res.Steps[i] = steps
 				return nil
 			}
-			occ[v] = epoch
+			s.occupy(v)
 			res.settle(i, v, steps, res.TotalSteps)
 		}
 		return nil
@@ -276,7 +273,7 @@ func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *S
 		// A particle standing on a vacant vertex settles instantly (this
 		// is how the first particle claims the origin); a settlement rule
 		// may veto it, exactly as ρ̃ does in Proposition A.1.
-		for occ[v] == epoch || (rule != nil && !rule(v, steps)) {
+		for s.occupied(v) || (rule != nil && !rule(v, steps)) {
 			v = step(kern, v, opt.Lazy, r)
 			steps++
 			res.TotalSteps++
@@ -290,7 +287,7 @@ func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *S
 				return nil
 			}
 		}
-		occ[v] = epoch
+		s.occupy(v)
 		res.settle(i, v, steps, res.TotalSteps)
 		res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
 	}
@@ -303,7 +300,7 @@ func SequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *S
 // vertex that is unoccupied at the start of the round, the
 // highest-priority arriving particle settles. Priority is least index, or
 // a uniform permutation under Options.RandomPriority.
-func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func Parallel(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := ParallelInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -315,7 +312,7 @@ func Parallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, 
 // occupancy map and position/priority/active buffers from the given
 // Scratch (nil allocates a transient one). res is fully overwritten; the
 // RNG stream consumed is identical to Parallel's.
-func ParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func ParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -328,7 +325,7 @@ func ParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scr
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
 
 	// Priority order for settlement conflicts: least index, or a uniform
@@ -404,7 +401,7 @@ func ParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scr
 // paper's lazier convention (ticks hitting settled particles are wasted)
 // changes only the clock, not any trajectory, and is recovered by the
 // continuous-time process below.
-func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func Uniform(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := UniformInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -416,7 +413,7 @@ func Uniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, e
 // occupancy map and position/active buffers from the given Scratch (nil
 // allocates a transient one). res is fully overwritten; the RNG stream
 // consumed is identical to Uniform's.
-func UniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func UniformInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -429,7 +426,7 @@ func UniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scra
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
 	s.pos = growI32(s.pos, k)
 	pos := s.pos
@@ -561,7 +558,7 @@ type CTResult struct {
 // of rate 1 and moves when it rings, settling on unoccupied vertices. It
 // is simulated exactly with an event heap. Theorem 4.8: its dispersion
 // time is (1+o(1))·τ_par.
-func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
+func CTUniform(g graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
 	res := new(CTResult)
 	if err := CTUniformInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -573,7 +570,7 @@ func CTUniform(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResul
 // its occupancy map, position buffer and event heap from the given Scratch
 // (nil allocates a transient one). res is fully overwritten; the RNG
 // stream consumed is identical to CTUniform's.
-func CTUniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
+func CTUniformInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -586,7 +583,7 @@ func CTUniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Sc
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
 	s.pos = growI32(s.pos, k)
 	pos := s.pos
@@ -648,7 +645,7 @@ func CTUniformInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Sc
 // Sequential process with independent Exp(1) waiting times between the
 // jumps of each walk. Its dispersion time is the largest total walking
 // time over particles; Section 4.3 shows it equals (1+o(1))·τ_seq.
-func CTSequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
+func CTSequential(g graph.Graph, origin int, opt Options, r *rng.Source) (*CTResult, error) {
 	res := new(CTResult)
 	if err := CTSequentialInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -659,7 +656,7 @@ func CTSequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*CTRe
 // CTSequentialInto is CTSequential writing into a caller-owned CTResult
 // through the given Scratch (nil allocates a transient one). res is fully
 // overwritten; the RNG stream consumed is identical to CTSequential's.
-func CTSequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
+func CTSequentialInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *CTResult) error {
 	if err := SequentialInto(g, origin, opt, r, s, &res.Result); err != nil {
 		return err
 	}

@@ -8,14 +8,14 @@ import (
 	"dispersion/internal/rng"
 )
 
-type runner func(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error)
+type runner func(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error)
 
 func allProcesses() map[string]runner {
 	return map[string]runner{
 		"sequential": Sequential,
 		"parallel":   Parallel,
 		"uniform":    Uniform,
-		"ctuniform": func(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+		"ctuniform": func(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 			res, err := CTUniform(g, origin, opt, r)
 			if err != nil {
 				return nil, err
@@ -25,8 +25,8 @@ func allProcesses() map[string]runner {
 	}
 }
 
-func testGraphs() []*graph.Graph {
-	return []*graph.Graph{
+func testGraphs() []graph.Graph {
+	return []graph.Graph{
 		graph.Path(17),
 		graph.Cycle(16),
 		graph.Complete(20),
@@ -414,7 +414,7 @@ func TestEveryVertexSettledExactlyOnce(t *testing.T) {
 func TestTreeSequentialLowerBound(t *testing.T) {
 	// Theorem 3.7: t_seq(T) >= 2n-3 for trees; check the empirical mean
 	// over trials clears it (with slack for Monte-Carlo noise).
-	for _, g := range []*graph.Graph{graph.Star(24), graph.CompleteBinaryTree(4)} {
+	for _, g := range []graph.Graph{graph.Star(24), graph.CompleteBinaryTree(4)} {
 		const trials = 200
 		var sum float64
 		root := rng.New(19)

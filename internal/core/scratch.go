@@ -22,6 +22,17 @@ type Scratch struct {
 	// epoch bump as occ. Entries stamped by an older epoch read as zero.
 	cnt []uint32
 
+	// sparse selects the O(particles) occupancy backend for the current
+	// run (see sparse.go): occ and cnt are left untouched and occupancy
+	// lives in table instead. beginRun decides per run, so one Scratch can
+	// alternate between a million-vertex sparse run and a small dense one.
+	sparse bool
+	// forceSparse pins every run to the sparse backend regardless of size;
+	// it exists so tests can check dense/sparse bit-identity on graphs
+	// small enough to enumerate.
+	forceSparse bool
+	table       sparseTable
+
 	pos    []int32
 	active []int32
 	prio   []int32
@@ -31,9 +42,21 @@ type Scratch struct {
 // NewScratch returns an empty Scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// beginRun prepares the occupancy map for a run on n vertices: everything
-// starts unoccupied.
-func (s *Scratch) beginRun(n int) {
+// beginRun prepares the occupancy map for a run of k particles on n
+// vertices: everything starts unoccupied. Large, sparse runs (see
+// sparseOccupancy) route occupancy through the O(k) hash table instead of
+// the O(n) dense arrays, which is what keeps million-vertex dispersion on
+// implicit graphs resident in O(particles) memory.
+func (s *Scratch) beginRun(n, k int) {
+	if s.sparse = s.forceSparse || sparseOccupancy(n, k); s.sparse {
+		// Capacity runs can have k > n particles, but never more than n
+		// distinct occupied vertices.
+		if k > n {
+			k = n
+		}
+		s.table.reset(k)
+		return
+	}
 	if cap(s.occ) < n {
 		s.occ = make([]uint8, n)
 		s.epoch = 0
@@ -54,8 +77,12 @@ func (s *Scratch) beginRun(n int) {
 
 // counts prepares the occupancy count array for a capacity-process run on
 // n vertices; all counts start at zero. Fresh entries carry epoch stamp 0,
-// which beginRun guarantees is never the live epoch.
+// which beginRun guarantees is never the live epoch. Sparse runs keep
+// counts in the hash table, so there is nothing to size.
 func (s *Scratch) counts(n int) {
+	if s.sparse {
+		return
+	}
 	if cap(s.cnt) < n {
 		s.cnt = make([]uint32, n)
 	}
@@ -64,6 +91,9 @@ func (s *Scratch) counts(n int) {
 
 // count returns how many settled particles vertex v hosts this run.
 func (s *Scratch) count(v int32) int32 {
+	if s.sparse {
+		return s.table.get(v) &^ sparseFull
+	}
 	if c := s.cnt[v]; uint8(c>>24) == s.epoch {
 		return int32(c & 0xffffff)
 	}
@@ -72,14 +102,31 @@ func (s *Scratch) count(v int32) int32 {
 
 // setCount records that vertex v hosts c settled particles this run.
 func (s *Scratch) setCount(v int32, c int32) {
+	if s.sparse {
+		s.table.set(v, c|(s.table.get(v)&sparseFull))
+		return
+	}
 	s.cnt[v] = uint32(s.epoch)<<24 | uint32(c)
 }
 
-// occupied reports whether vertex v hosts a settled particle this run.
-func (s *Scratch) occupied(v int32) bool { return s.occ[v] == s.epoch }
+// occupied reports whether vertex v hosts a settled particle this run (is
+// at capacity, for the capacity processes).
+func (s *Scratch) occupied(v int32) bool {
+	if s.sparse {
+		return s.table.get(v)&sparseFull != 0
+	}
+	return s.occ[v] == s.epoch
+}
 
-// occupy marks vertex v as hosting a settled particle.
-func (s *Scratch) occupy(v int32) { s.occ[v] = s.epoch }
+// occupy marks vertex v as hosting a settled particle (as being at
+// capacity, for the capacity processes).
+func (s *Scratch) occupy(v int32) {
+	if s.sparse {
+		s.table.set(v, s.table.get(v)|sparseFull)
+		return
+	}
+	s.occ[v] = s.epoch
+}
 
 // growI32 returns a length-n slice reusing buf's backing array when it is
 // large enough.

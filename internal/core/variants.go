@@ -54,7 +54,7 @@ func (o Options) thresholdParam(n int) (int64, error) {
 // rule of Proposition A.1: a particle standing on a vacant vertex settles
 // there with probability q per visit (Options.SettleParam, default 1/2)
 // and otherwise keeps walking. q = 1 recovers the standard process.
-func SequentialGeom(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func SequentialGeom(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := SequentialGeomInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -65,7 +65,7 @@ func SequentialGeom(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Re
 // SequentialGeomInto is SequentialGeom writing into a caller-owned Result
 // through the given Scratch (nil allocates a transient one). res is fully
 // overwritten; the RNG stream consumed is identical to SequentialGeom's.
-func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func SequentialGeomInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -82,9 +82,8 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
-	occ, epoch := s.occ, s.epoch
 	if !opt.Record {
 		// Hot path: each stretch of occupied vertices runs as one kernel
 		// call; the acceptance coin is drawn only on vacant standings, so
@@ -98,7 +97,7 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 					budget = opt.MaxSteps - res.TotalSteps
 				}
 				var walked int64
-				v, walked = kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+				v, walked = s.walkUntilVacant(kern, v, opt.Lazy, budget, r)
 				steps += walked
 				res.TotalSteps += walked
 				if walked >= budget {
@@ -120,7 +119,7 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 					return nil
 				}
 			}
-			occ[v] = epoch
+			s.occupy(v)
 			res.settle(i, v, steps, res.TotalSteps)
 		}
 		return nil
@@ -131,7 +130,7 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 		traj := []int32{v}
 		// Standing on an occupied vertex draws no acceptance coin (the
 		// short-circuit mirrors the hot path's WalkUntilVacant stretch).
-		for occ[v] == epoch || r.Float64() >= q {
+		for s.occupied(v) || r.Float64() >= q {
 			v = step(kern, v, opt.Lazy, r)
 			steps++
 			res.TotalSteps++
@@ -143,7 +142,7 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 				return nil
 			}
 		}
-		occ[v] = epoch
+		s.occupy(v)
 		res.settle(i, v, steps, res.TotalSteps)
 		res.Trajectories[i] = traj
 	}
@@ -155,7 +154,7 @@ func SequentialGeomInto(g *graph.Graph, origin int, opt Options, r *rng.Source, 
 // step on (Options.SettleParam, default n), at the first vacant vertex it
 // then stands on. Longer forced walks can decrease the dispersion time on
 // gadgets like the clique-with-hair — the paper's no-least-action example.
-func SequentialThreshold(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func SequentialThreshold(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := SequentialThresholdInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -167,7 +166,7 @@ func SequentialThreshold(g *graph.Graph, origin int, opt Options, r *rng.Source)
 // caller-owned Result through the given Scratch (nil allocates a transient
 // one). res is fully overwritten; the RNG stream consumed is identical to
 // SequentialThreshold's.
-func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func SequentialThresholdInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	k, err := opt.numParticles(n)
 	if err != nil {
@@ -184,9 +183,8 @@ func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Sou
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	s.beginRun(n)
+	s.beginRun(n, k)
 	kern := g.Kernel()
-	occ, epoch := s.occ, s.epoch
 	for i := 0; i < k; i++ {
 		v := opt.startVertex(origin, n, r)
 		var steps int64
@@ -218,7 +216,7 @@ func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Sou
 				budget = opt.MaxSteps - res.TotalSteps
 			}
 			var walked int64
-			v, walked = kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			v, walked = s.walkUntilVacant(kern, v, opt.Lazy, budget, r)
 			steps += walked
 			res.TotalSteps += walked
 			if walked >= budget {
@@ -227,7 +225,7 @@ func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Sou
 				return nil
 			}
 		} else {
-			for occ[v] == epoch {
+			for s.occupied(v) {
 				v = step(kern, v, opt.Lazy, r)
 				steps++
 				res.TotalSteps++
@@ -240,7 +238,7 @@ func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Sou
 				}
 			}
 		}
-		occ[v] = epoch
+		s.occupy(v)
 		res.settle(i, v, steps, res.TotalSteps)
 		res.Trajectories = appendTraj(res.Trajectories, i, traj, opt.Record)
 	}
@@ -253,7 +251,7 @@ func SequentialThresholdInto(g *graph.Graph, origin int, opt Options, r *rng.Sou
 // DefaultCapacity) and a particle settles on the first standing vertex
 // holding fewer than c. By default c·n particles disperse, filling every
 // vertex to capacity; Options.Particles lowers the count.
-func CapacitySequential(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func CapacitySequential(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := CapacitySequentialInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -267,7 +265,7 @@ func CapacitySequential(g *graph.Graph, origin int, opt Options, r *rng.Source) 
 // CapacitySequential's. Vertices at capacity are stamped into the same
 // occupancy map the unit-capacity walks test, so the whole settlement walk
 // still runs behind one kernel dispatch.
-func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func CapacitySequentialInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	c, err := opt.capacity()
 	if err != nil {
@@ -285,10 +283,9 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 	}
 	res.reset(k, opt.Record)
 	res.Capacity = c
-	s.beginRun(n)
+	s.beginRun(n, k)
 	s.counts(n)
 	kern := g.Kernel()
-	occ, epoch := s.occ, s.epoch
 	if !opt.Record {
 		for i := 0; i < k; i++ {
 			v := opt.startVertex(origin, n, r)
@@ -296,7 +293,7 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 			if opt.MaxSteps > 0 {
 				budget = opt.MaxSteps - res.TotalSteps
 			}
-			v, steps := kern.WalkUntilVacant(v, opt.Lazy, occ, epoch, budget, r)
+			v, steps := s.walkUntilVacant(kern, v, opt.Lazy, budget, r)
 			res.TotalSteps += steps
 			if steps >= budget {
 				res.Truncated = true
@@ -306,7 +303,7 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 			cv := s.count(v) + 1
 			s.setCount(v, cv)
 			if int(cv) == c {
-				occ[v] = epoch
+				s.occupy(v)
 			}
 			res.settle(i, v, steps, res.TotalSteps)
 		}
@@ -316,7 +313,7 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 		v := opt.startVertex(origin, n, r)
 		var steps int64
 		traj := []int32{v}
-		for occ[v] == epoch {
+		for s.occupied(v) {
 			v = step(kern, v, opt.Lazy, r)
 			steps++
 			res.TotalSteps++
@@ -331,7 +328,7 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 		cv := s.count(v) + 1
 		s.setCount(v, cv)
 		if int(cv) == c {
-			occ[v] = epoch
+			s.occupy(v)
 		}
 		res.settle(i, v, steps, res.TotalSteps)
 		res.Trajectories[i] = traj
@@ -345,7 +342,7 @@ func CapacitySequentialInto(g *graph.Graph, origin int, opt Options, r *rng.Sour
 // arrivals until it holds c settled particles (Options.Capacity, default
 // DefaultCapacity). Priority is least index, or a uniform permutation
 // under Options.RandomPriority.
-func CapacityParallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
+func CapacityParallel(g graph.Graph, origin int, opt Options, r *rng.Source) (*Result, error) {
 	res := new(Result)
 	if err := CapacityParallelInto(g, origin, opt, r, nil, res); err != nil {
 		return nil, err
@@ -357,7 +354,7 @@ func CapacityParallel(g *graph.Graph, origin int, opt Options, r *rng.Source) (*
 // Result through the given Scratch (nil allocates a transient one). res is
 // fully overwritten; the RNG stream consumed is identical to
 // CapacityParallel's.
-func CapacityParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
+func CapacityParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
 	c, err := opt.capacity()
 	if err != nil {
@@ -375,7 +372,7 @@ func CapacityParallelInto(g *graph.Graph, origin int, opt Options, r *rng.Source
 	}
 	res.reset(k, opt.Record)
 	res.Capacity = c
-	s.beginRun(n)
+	s.beginRun(n, k)
 	s.counts(n)
 	kern := g.Kernel()
 

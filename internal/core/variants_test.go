@@ -156,7 +156,7 @@ func TestLastSettledVertexOnTreeIsLeaf(t *testing.T) {
 	// internal vertex separates the tree, so it must fill before both of
 	// its sides can).
 	root := rng.New(61)
-	trees := []*graph.Graph{
+	trees := []graph.Graph{
 		graph.Star(12),
 		graph.Path(12),
 		graph.CompleteBinaryTree(4),

@@ -18,7 +18,7 @@ import (
 
 // checkCapacity validates the shared inputs of the capacity DPs and
 // resolves the particle count (k = 0 means fill to capacity, c·n).
-func checkCapacity(g *graph.Graph, origin, c, k int) (int, error) {
+func checkCapacity(g *graph.CSR, origin, c, k int) (int, error) {
 	n := g.N()
 	if n > maxExactN {
 		return 0, fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", n, maxExactN)
@@ -57,7 +57,7 @@ func fullSet(counts []byte, c int) uint32 {
 // means c·n, filling every vertex): a forward DP over occupancy multisets
 // whose transitions reuse the rule-aware settlement law with the full set
 // as the occupied set.
-func CapacityExpectedTotalSteps(g *graph.Graph, origin, c, k int) (float64, error) {
+func CapacityExpectedTotalSteps(g *graph.CSR, origin, c, k int) (float64, error) {
 	k, err := checkCapacity(g, origin, c, k)
 	if err != nil {
 		return 0, err
@@ -95,7 +95,7 @@ func CapacityExpectedTotalSteps(g *graph.Graph, origin, c, k int) (float64, erro
 // CapacityDispersionCDF returns the exact CDF of the capacity-c Sequential
 // dispersion time for k particles from origin (k = 0 means c·n):
 // cdf[t] = P(max per-particle steps <= t) for t = 0..T.
-func CapacityDispersionCDF(g *graph.Graph, origin, c, k, T int) ([]float64, error) {
+func CapacityDispersionCDF(g *graph.CSR, origin, c, k, T int) ([]float64, error) {
 	k, err := checkCapacity(g, origin, c, k)
 	if err != nil {
 		return nil, err
@@ -154,7 +154,7 @@ func CapacityDispersionCDF(g *graph.Graph, origin, c, k, T int) ([]float64, erro
 // CapacityExpectedDispersion returns the exact E[dispersion] of the
 // capacity-c Sequential process up to the truncation error of horizon T,
 // plus the residual tail mass P(τ > T).
-func CapacityExpectedDispersion(g *graph.Graph, origin, c, k, T int) (mean, tailMass float64, err error) {
+func CapacityExpectedDispersion(g *graph.CSR, origin, c, k, T int) (mean, tailMass float64, err error) {
 	cdf, err := CapacityDispersionCDF(g, origin, c, k, T)
 	if err != nil {
 		return 0, 0, err

@@ -27,13 +27,13 @@ const maxExactN = 20
 
 // Sequential holds the exact subset-DP machinery for a graph and origin.
 type Sequential struct {
-	g      *graph.Graph
+	g      *graph.CSR
 	origin int
 	n      int
 }
 
 // NewSequential validates inputs and returns the solver.
-func NewSequential(g *graph.Graph, origin int) (*Sequential, error) {
+func NewSequential(g *graph.CSR, origin int) (*Sequential, error) {
 	if g.N() > maxExactN {
 		return nil, fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", g.N(), maxExactN)
 	}

@@ -95,7 +95,7 @@ func TestExpectedTotalStepsCliqueCouponCollector(t *testing.T) {
 }
 
 func TestExpectedTotalStepsMatchesSimulation(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.Cycle(7), graph.Path(7), graph.Star(7), graph.CompleteBinaryTree(3)} {
+	for _, g := range []*graph.CSR{graph.Cycle(7), graph.Path(7), graph.Star(7), graph.CompleteBinaryTree(3)} {
 		e, err := NewSequential(g, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -160,7 +160,7 @@ func TestDispersionCDFMonotoneAndComplete(t *testing.T) {
 
 func TestExpectedDispersionMatchesSimulation(t *testing.T) {
 	for _, tc := range []struct {
-		g *graph.Graph
+		g *graph.CSR
 		T int
 	}{
 		{graph.Complete(6), 300},

@@ -16,7 +16,7 @@ import (
 //
 // State counts grow like 2^n · C(2n-2, n-1); intended for n <= ~7.
 type Parallel struct {
-	g      *graph.Graph
+	g      *graph.CSR
 	origin int
 	n      int
 }
@@ -25,7 +25,7 @@ type Parallel struct {
 const maxExactParallelN = 8
 
 // NewParallel validates inputs and returns the solver.
-func NewParallel(g *graph.Graph, origin int) (*Parallel, error) {
+func NewParallel(g *graph.CSR, origin int) (*Parallel, error) {
 	if g.N() > maxExactParallelN {
 		return nil, fmt.Errorf("exact: n = %d exceeds parallel-DP limit %d", g.N(), maxExactParallelN)
 	}

@@ -44,7 +44,7 @@ func TestParallelSingletonGraph(t *testing.T) {
 }
 
 func TestParallelMatchesSimulation(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.Complete(5), graph.Cycle(5), graph.Star(5), graph.Path(4)} {
+	for _, g := range []*graph.CSR{graph.Complete(5), graph.Cycle(5), graph.Star(5), graph.Path(4)} {
 		e, err := NewParallel(g, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -74,7 +74,7 @@ func TestTheorem41ExactDomination(t *testing.T) {
 	// Exact verification of Theorem 4.1 at small n: the parallel CDF sits
 	// below the sequential CDF pointwise (τ_seq ⪯ τ_par), with no
 	// Monte-Carlo error at all.
-	for _, g := range []*graph.Graph{
+	for _, g := range []*graph.CSR{
 		graph.Complete(5), graph.Cycle(5), graph.Star(6), graph.Path(4), graph.CompleteBinaryTree(2),
 	} {
 		seq, err := NewSequential(g, 0)

@@ -93,7 +93,7 @@ const settleTol = 1e-14
 // settles at vertex v, and mean its expected step count. The walk runs on
 // the whole graph with per-standing-visit absorption, so a vacant start
 // may settle at step zero. It errors when s leaves no vertex to settle on.
-func SettleLaw(g *graph.Graph, start int, s uint32, rule Rule) ([]float64, float64, error) {
+func SettleLaw(g *graph.CSR, start int, s uint32, rule Rule) ([]float64, float64, error) {
 	n := g.N()
 	if err := checkRuleSolve(g, start, s, rule); err != nil {
 		return nil, 0, err
@@ -122,7 +122,7 @@ func SettleLaw(g *graph.Graph, start int, s uint32, rule Rule) ([]float64, float
 // out[v][t] = P(settles at v within <= t steps), for t = 0..T. Unlike the
 // arrival-absorbed Sequential.SettleCDF, entry t=0 can be positive (a
 // vacant start settles with zero steps).
-func SettleCDF(g *graph.Graph, start int, s uint32, rule Rule, T int) ([][]float64, error) {
+func SettleCDF(g *graph.CSR, start int, s uint32, rule Rule, T int) ([][]float64, error) {
 	n := g.N()
 	if err := checkRuleSolve(g, start, s, rule); err != nil {
 		return nil, err
@@ -149,7 +149,7 @@ func SettleCDF(g *graph.Graph, start int, s uint32, rule Rule, T int) ([][]float
 }
 
 // checkRuleSolve validates the shared inputs of the rule solvers.
-func checkRuleSolve(g *graph.Graph, start int, s uint32, rule Rule) error {
+func checkRuleSolve(g *graph.CSR, start int, s uint32, rule Rule) error {
 	n := g.N()
 	if n > maxExactN {
 		return fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", n, maxExactN)
@@ -189,7 +189,7 @@ func absorbStanding(cur, absorbed []float64, s uint32, rule Rule, t int) float64
 
 // stepFull advances one walk step of the distribution over the whole
 // graph (no absorption; that happens on standing).
-func stepFull(g *graph.Graph, cur, next []float64, lazy bool) {
+func stepFull(g *graph.CSR, cur, next []float64, lazy bool) {
 	for i := range next {
 		next[i] = 0
 	}
@@ -259,7 +259,7 @@ func (v SeqVariant) starts(origin, n int) ([]int, float64) {
 // Sequential-process variant: a forward DP over occupied sets where each
 // transition uses the rule-aware settlement law. With the zero variant it
 // reproduces Sequential.ExpectedTotalSteps.
-func SeqExpectedTotalSteps(g *graph.Graph, origin int, v SeqVariant) (float64, error) {
+func SeqExpectedTotalSteps(g *graph.CSR, origin int, v SeqVariant) (float64, error) {
 	n := g.N()
 	k, err := v.particles(n)
 	if err != nil {
@@ -297,7 +297,7 @@ func SeqExpectedTotalSteps(g *graph.Graph, origin int, v SeqVariant) (float64, e
 // cdf[t] = P(max per-particle steps <= t) for t = 0..T, by the same
 // occupied-set factorisation as Sequential.DispersionCDF with rule-aware
 // per-set settlement CDFs.
-func SeqDispersionCDF(g *graph.Graph, origin int, v SeqVariant, T int) ([]float64, error) {
+func SeqDispersionCDF(g *graph.CSR, origin int, v SeqVariant, T int) ([]float64, error) {
 	n := g.N()
 	k, err := v.particles(n)
 	if err != nil {
@@ -343,7 +343,7 @@ func SeqDispersionCDF(g *graph.Graph, origin int, v SeqVariant, T int) ([]float6
 
 // SeqExpectedDispersion returns the variant's exact E[dispersion] up to
 // the truncation error of horizon T, plus the residual tail mass P(τ > T).
-func SeqExpectedDispersion(g *graph.Graph, origin int, v SeqVariant, T int) (mean, tailMass float64, err error) {
+func SeqExpectedDispersion(g *graph.CSR, origin int, v SeqVariant, T int) (mean, tailMass float64, err error) {
 	cdf, err := SeqDispersionCDF(g, origin, v, T)
 	if err != nil {
 		return 0, 0, err
@@ -357,7 +357,7 @@ func SeqExpectedDispersion(g *graph.Graph, origin int, v SeqVariant, T int) (mea
 // lawCache memoizes SettleLaw per (start, occupied set): the random-origin
 // DPs revisit the same pair once per predecessor state.
 type lawCache struct {
-	g    *graph.Graph
+	g    *graph.CSR
 	rule Rule
 	m    map[uint64]cachedLaw
 }
@@ -368,7 +368,7 @@ type cachedLaw struct {
 	mean    float64
 }
 
-func newLawCache(g *graph.Graph, rule Rule) *lawCache {
+func newLawCache(g *graph.CSR, rule Rule) *lawCache {
 	return &lawCache{g: g, rule: rule, m: map[uint64]cachedLaw{}}
 }
 

@@ -10,8 +10,8 @@ import (
 // ruleGraphs are the small cross-validation graphs: one vertex-transitive,
 // one with strongly origin-dependent harmonic measures, one with a
 // degree-one tail.
-func ruleGraphs() []*graph.Graph {
-	return []*graph.Graph{graph.Complete(5), graph.Star(5), graph.Path(4)}
+func ruleGraphs() []*graph.CSR {
+	return []*graph.CSR{graph.Complete(5), graph.Star(5), graph.Path(4)}
 }
 
 // The zero SeqVariant must reproduce the classic arrival-absorbed solver.

@@ -3,16 +3,23 @@ package graph
 import "fmt"
 
 // Path returns the path graph P_n on vertices 0..n-1 with edges {i, i+1}.
-func Path(n int) *Graph {
+func Path(n int) *CSR {
 	b := NewBuilder(fmt.Sprintf("path-%d", n), n)
 	for i := 0; i+1 < n; i++ {
 		b.AddEdge(i, i+1)
+	}
+	// The constructor emits the canonical labelling, so the kernel is known
+	// without detectKernel's verification sweep. Degenerate sizes (P_2 =
+	// K_2) keep detection, which is O(1) there and preserves the
+	// closed-form upgrade.
+	if n >= 3 {
+		b.hint = func(*CSR) Kernel { return pathKernel{n: int32(n)} }
 	}
 	return b.MustBuild()
 }
 
 // Cycle returns the cycle C_n. It requires n >= 3 to stay simple.
-func Cycle(n int) *Graph {
+func Cycle(n int) *CSR {
 	if n < 3 {
 		panic("graph: Cycle requires n >= 3")
 	}
@@ -20,25 +27,37 @@ func Cycle(n int) *Graph {
 	for i := 0; i < n; i++ {
 		b.AddEdge(i, (i+1)%n)
 	}
+	// Canonical labelling: skip detection. C_3 = K_3 keeps detection so it
+	// still gets the complete-graph kernel.
+	if n >= 4 {
+		b.hint = func(*CSR) Kernel { return cycleKernel{n: int32(n)} }
+	}
 	return b.MustBuild()
 }
 
 // Complete returns the complete graph K_n.
-func Complete(n int) *Graph {
+func Complete(n int) *CSR {
 	b := NewBuilder(fmt.Sprintf("complete-%d", n), n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			b.AddEdge(i, j)
 		}
 	}
+	if n >= 2 {
+		b.hint = func(*CSR) Kernel { return completeKernel{n: int32(n)} }
+	}
 	return b.MustBuild()
 }
 
 // Star returns the star S_n: vertex 0 is the centre joined to 1..n-1.
-func Star(n int) *Graph {
+func Star(n int) *CSR {
 	b := NewBuilder(fmt.Sprintf("star-%d", n), n)
 	for i := 1; i < n; i++ {
 		b.AddEdge(0, i)
+	}
+	// Stars are irregular for n >= 3 (S_2 = K_2 keeps detection).
+	if n >= 3 {
+		b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	}
 	return b.MustBuild()
 }
@@ -47,7 +66,7 @@ func Star(n int) *Graph {
 // indexed in row-major order. With torus set, opposite faces are glued,
 // producing the d-dimensional torus the paper uses for d >= 2. Sides of
 // length 2 with torus would create parallel edges and are rejected.
-func Grid(sides []int, torus bool) *Graph {
+func Grid(sides []int, torus bool) *CSR {
 	n := 1
 	for _, s := range sides {
 		if s < 1 {
@@ -87,6 +106,26 @@ func Grid(sides []int, torus bool) *Graph {
 			coords[d] = 0
 		}
 	}
+	if torus {
+		// A torus is 2·d'-regular, d' the number of effective (side >= 3)
+		// dimensions; sides of length 1 contribute nothing. With exactly
+		// one effective dimension the labelling degenerates to the
+		// canonical cycle C_n; open grids keep detection (their boundary
+		// makes the kernel depend on the exact shape).
+		eff, deg := 0, 0
+		for _, s := range sides {
+			if s >= 3 {
+				eff++
+				deg += 2
+			}
+		}
+		switch {
+		case eff == 1 && n >= 4:
+			b.hint = func(*CSR) Kernel { return cycleKernel{n: int32(n)} }
+		case eff >= 2:
+			b.hint = func(g *CSR) Kernel { return regularKernel{adj: g.adj, deg: int32(deg)} }
+		}
+	}
 	return b.MustBuild()
 }
 
@@ -112,7 +151,7 @@ func GridCoords(sides []int, v int) []int {
 
 // Hypercube returns the k-dimensional hypercube on n = 2^k vertices, with
 // u ~ v iff u xor v is a power of two.
-func Hypercube(k int) *Graph {
+func Hypercube(k int) *CSR {
 	if k < 1 || k > 30 {
 		panic("graph: Hypercube requires 1 <= k <= 30")
 	}
@@ -126,13 +165,23 @@ func Hypercube(k int) *Graph {
 			}
 		}
 	}
+	// Same footprint gate as detectKernel (adjacency holds n·k int32s):
+	// cache-hostile hypercubes go arithmetic, small ones take the
+	// offsets-free regular kernel. Q_1 = K_2 keeps detection.
+	if k >= 2 {
+		if 4*n*k >= hypercubeClosedFormMinBytes {
+			b.hint = func(*CSR) Kernel { return hypercubeKernel{k: int32(k)} }
+		} else {
+			b.hint = func(g *CSR) Kernel { return regularKernel{adj: g.adj, deg: int32(k)} }
+		}
+	}
 	return b.MustBuild()
 }
 
 // CompleteBinaryTree returns the complete binary tree with n = 2^levels - 1
 // vertices in heap order: the children of v are 2v+1 and 2v+2, the root is
 // vertex 0.
-func CompleteBinaryTree(levels int) *Graph {
+func CompleteBinaryTree(levels int) *CSR {
 	if levels < 1 || levels > 30 {
 		panic("graph: CompleteBinaryTree requires 1 <= levels <= 30")
 	}
@@ -140,6 +189,9 @@ func CompleteBinaryTree(levels int) *Graph {
 	b := NewBuilder(fmt.Sprintf("bintree-%d", n), n)
 	for v := 1; v < n; v++ {
 		b.AddEdge(v, (v-1)/2)
+	}
+	if levels >= 2 {
+		b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	}
 	return b.MustBuild()
 }
@@ -149,7 +201,7 @@ func CompleteBinaryTree(levels int) *Graph {
 // path on the remaining floor(n/2) vertices. Vertex 0 is a generic clique
 // vertex (a valid origin per the proposition); the far end of the path is
 // vertex n-1.
-func Lollipop(n int) *Graph {
+func Lollipop(n int) *CSR {
 	if n < 4 {
 		panic("graph: Lollipop requires n >= 4")
 	}
@@ -162,6 +214,11 @@ func Lollipop(n int) *Graph {
 	}
 	for i := k - 1; i+1 < n; i++ {
 		b.AddEdge(i, i+1)
+	}
+	// Lollipop(4) degenerates to P_4 and keeps detection for the path
+	// kernel upgrade; every larger lollipop is irregular.
+	if n >= 5 {
+		b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	}
 	return b.MustBuild()
 }
@@ -179,7 +236,7 @@ func LollipopPathMid(n int) int {
 // CliqueWithHair returns G1 of Proposition 2.1: the complete graph on
 // n-1 vertices {0..n-2} with an extra "hair tip" vertex n-1 attached by a
 // single edge to vertex 0. The proposition's origin is vertex 0.
-func CliqueWithHair(n int) *Graph {
+func CliqueWithHair(n int) *CSR {
 	if n < 3 {
 		panic("graph: CliqueWithHair requires n >= 3")
 	}
@@ -190,6 +247,7 @@ func CliqueWithHair(n int) *Graph {
 		}
 	}
 	b.AddEdge(0, n-1)
+	b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	return b.MustBuild()
 }
 
@@ -201,7 +259,7 @@ func HairTip(n int) int { return n - 1 }
 // vertices {0..n-3}, a "pimple" vertex v = n-2 adjacent to h-1 clique
 // vertices, and the hair tip v* = n-1 attached to v by a single edge. The
 // proposition chooses h = n/log n and starts the process at v.
-func CliqueWithHairOnPimple(n, h int) *Graph {
+func CliqueWithHairOnPimple(n, h int) *CSR {
 	if n < 5 || h < 2 || h > n-2 {
 		panic("graph: CliqueWithHairOnPimple requires n >= 5 and 2 <= h <= n-2")
 	}
@@ -216,6 +274,7 @@ func CliqueWithHairOnPimple(n, h int) *Graph {
 		b.AddEdge(v, i)
 	}
 	b.AddEdge(v, n-1)
+	b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	return b.MustBuild()
 }
 
@@ -228,7 +287,7 @@ func PimpleVertex(n int) int { return n - 2 }
 // extra vertices attached to the root. Tree vertices keep heap order
 // (root 0); path vertices are 2^levels-1 .. 2^levels-1+pathLen-1, with the
 // far endpoint last.
-func BinaryTreeWithPath(levels, pathLen int) *Graph {
+func BinaryTreeWithPath(levels, pathLen int) *CSR {
 	if levels < 1 || pathLen < 1 {
 		panic("graph: BinaryTreeWithPath requires levels >= 1 and pathLen >= 1")
 	}
@@ -241,6 +300,10 @@ func BinaryTreeWithPath(levels, pathLen int) *Graph {
 	b.AddEdge(0, t)
 	for i := t; i+1 < n; i++ {
 		b.AddEdge(i, i+1)
+	}
+	// levels == 1 degenerates to a pure path and keeps detection.
+	if levels >= 2 {
+		b.hint = func(g *CSR) Kernel { return csrKernel{g} }
 	}
 	return b.MustBuild()
 }

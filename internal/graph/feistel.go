@@ -1,0 +1,81 @@
+package graph
+
+// feistel is a seeded pseudorandom permutation of [0, n) in O(1) memory:
+// a 4-round balanced Feistel network over the smallest even-bit-width
+// power-of-two domain covering n, shrunk to [0, n) by cycle-walking
+// (re-applying the network while the image lands outside [0, n) — the
+// domain is < 4n, so the expected walk length is below 4). Both
+// directions are computable, which is what lets rregKernel recover a
+// vertex's position in a Hamiltonian cycle without storing it. This is a
+// simulation-grade permutation (keyed murmur-style round mixing), not a
+// cryptographic one.
+type feistel struct {
+	n    uint64
+	half uint // bits per Feistel half; domain is 1 << (2*half)
+	mask uint64
+	keys [4]uint64
+}
+
+// newFeistel returns the permutation of [0, n) keyed by seed. n >= 1.
+func newFeistel(n int, seed uint64) feistel {
+	width := 2
+	for uint64(1)<<width < uint64(n) {
+		width += 2
+	}
+	f := feistel{n: uint64(n), half: uint(width / 2)}
+	f.mask = 1<<f.half - 1
+	for i := range f.keys {
+		f.keys[i] = splitmix(seed, uint64(i))
+	}
+	return f
+}
+
+// round is the keyed mixing function applied to one Feistel half.
+func (f *feistel) round(r, key uint64) uint64 {
+	z := r + key
+	z ^= z >> 33
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z & f.mask
+}
+
+// permute runs the network forward once over the power-of-two domain.
+func (f *feistel) permute(x uint64) uint64 {
+	l, r := x>>f.half, x&f.mask
+	for i := 0; i < 4; i++ {
+		l, r = r, l^f.round(r, f.keys[i])
+	}
+	return l<<f.half | r
+}
+
+// unpermute inverts permute.
+func (f *feistel) unpermute(y uint64) uint64 {
+	l, r := y>>f.half, y&f.mask
+	for i := 3; i >= 0; i-- {
+		l, r = r^f.round(l, f.keys[i]), l
+	}
+	return l<<f.half | r
+}
+
+// apply returns π(x) for x in [0, n), cycle-walking off-domain images.
+func (f *feistel) apply(x uint64) uint64 {
+	for {
+		x = f.permute(x)
+		if x < f.n {
+			return x
+		}
+	}
+}
+
+// invert returns π⁻¹(y) for y in [0, n); the inverse walk retraces the
+// forward walk's off-domain excursion in reverse, so invert(apply(x)) = x.
+func (f *feistel) invert(y uint64) uint64 {
+	for {
+		y = f.unpermute(y)
+		if y < f.n {
+			return y
+		}
+	}
+}

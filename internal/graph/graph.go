@@ -1,10 +1,20 @@
 // Package graph provides the finite-graph substrate for the dispersion
-// simulator: a compact CSR (compressed sparse row) adjacency representation,
-// constructors for every graph family analysed in the paper, and the basic
-// traversal utilities (BFS, connectivity, bipartiteness) the analytics need.
+// simulator. The simulation stack sees graphs only through the narrow
+// Graph interface — size, degree, step kernel, connectivity — which has
+// two backends:
 //
-// Vertices are integers in [0, N). The representation is immutable after
-// construction so graphs can be shared freely across goroutines.
+//   - CSR, a compact compressed-sparse-row adjacency representation with
+//     constructors for every graph family analysed in the paper and the
+//     traversal utilities (BFS, connectivity, bipartiteness) the
+//     analytics need. Memory is O(n·d).
+//   - Implicit, an adjacency-free backend for generated families (d-dim
+//     torus, circulant, random-regular via seeded permutation
+//     composition, and the closed-form families) whose kernel, degree and
+//     connectivity are computed analytically. Memory is O(1), opening
+//     vertex counts that could never hold a CSR build in RAM.
+//
+// Vertices are integers in [0, N). Both representations are immutable
+// after construction so graphs can be shared freely across goroutines.
 package graph
 
 import (
@@ -13,11 +23,47 @@ import (
 	"sort"
 )
 
-// Graph is an undirected, unweighted graph in CSR form. The neighbour list
+// Graph is the narrow interface the dispersion processes walk on: the
+// vertex count, per-vertex degree, the step kernel selected at build
+// time, and the one-time connectivity predicate. Everything a simulation
+// touches per trial goes through these five methods, so backends are free
+// to answer them from a CSR adjacency or from pure arithmetic.
+type Graph interface {
+	// N returns the number of vertices.
+	N() int
+	// Name returns the human-readable family label.
+	Name() string
+	// Degree returns the degree of vertex v.
+	Degree(v int) int
+	// Kernel returns the step kernel selected at construction time. Hot
+	// loops should hoist it out of the loop body.
+	Kernel() Kernel
+	// IsConnected reports whether the graph is connected. The answer is
+	// computed (or known analytically) at construction time, so the call
+	// is free in per-trial input validation.
+	IsConnected() bool
+}
+
+// EdgeChecker is the optional adjacency test a backend may provide on top
+// of Graph; both CSR and Implicit do. Recorded-trajectory validation uses
+// it (core.Result.Check).
+type EdgeChecker interface {
+	// HasEdge reports whether {u, v} is an edge.
+	HasEdge(u, v int) bool
+}
+
+var (
+	_ Graph       = (*CSR)(nil)
+	_ EdgeChecker = (*CSR)(nil)
+	_ Graph       = (*Implicit)(nil)
+	_ EdgeChecker = (*Implicit)(nil)
+)
+
+// CSR is an undirected, unweighted graph in CSR form. The neighbour list
 // of vertex v is adj[offsets[v]:offsets[v+1]]. Parallel edges and
 // self-loops are rejected at construction; all graphs in the paper are
 // simple.
-type Graph struct {
+type CSR struct {
 	name    string
 	offsets []int32
 	adj     []int32
@@ -29,34 +75,34 @@ type Graph struct {
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.offsets) - 1 }
+func (g *CSR) N() int { return len(g.offsets) - 1 }
 
 // M returns the number of undirected edges.
-func (g *Graph) M() int { return len(g.adj) / 2 }
+func (g *CSR) M() int { return len(g.adj) / 2 }
 
 // Name returns the human-readable family label given at construction.
-func (g *Graph) Name() string { return g.name }
+func (g *CSR) Name() string { return g.name }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int {
+func (g *CSR) Degree(v int) int {
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns the neighbour list of v. The returned slice aliases the
 // graph's internal storage and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 {
+func (g *CSR) Neighbors(v int) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
 // Neighbor returns the i-th neighbour of v, for 0 <= i < Degree(v). It is
 // the hot call of every random-walk step and is kept free of bounds
 // arithmetic beyond the two slice indexes.
-func (g *Graph) Neighbor(v int, i int32) int32 {
+func (g *CSR) Neighbor(v int, i int32) int32 {
 	return g.adj[g.offsets[v]+i]
 }
 
 // MaxDegree returns the maximum vertex degree.
-func (g *Graph) MaxDegree() int {
+func (g *CSR) MaxDegree() int {
 	max := 0
 	for v := 0; v < g.N(); v++ {
 		if d := g.Degree(v); d > max {
@@ -67,7 +113,7 @@ func (g *Graph) MaxDegree() int {
 }
 
 // MinDegree returns the minimum vertex degree.
-func (g *Graph) MinDegree() int {
+func (g *CSR) MinDegree() int {
 	if g.N() == 0 {
 		return 0
 	}
@@ -81,13 +127,13 @@ func (g *Graph) MinDegree() int {
 }
 
 // IsRegular reports whether every vertex has the same degree.
-func (g *Graph) IsRegular() bool {
+func (g *CSR) IsRegular() bool {
 	return g.N() == 0 || g.MaxDegree() == g.MinDegree()
 }
 
 // HasEdge reports whether {u, v} is an edge, by binary search over the
 // sorted neighbour list of the lower-degree endpoint.
-func (g *Graph) HasEdge(u, v int) bool {
+func (g *CSR) HasEdge(u, v int) bool {
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
@@ -97,7 +143,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // Edges returns all edges as (u, v) pairs with u < v, in sorted order.
-func (g *Graph) Edges() [][2]int32 {
+func (g *CSR) Edges() [][2]int32 {
 	es := make([][2]int32, 0, g.M())
 	for u := 0; u < g.N(); u++ {
 		for _, v := range g.Neighbors(u) {
@@ -109,13 +155,21 @@ func (g *Graph) Edges() [][2]int32 {
 	return es
 }
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate
+// Builder accumulates edges and produces an immutable CSR. Duplicate
 // edges and self-loops cause Build to fail, which keeps random generators
 // honest about producing simple graphs.
 type Builder struct {
 	n     int
 	name  string
 	edges [][2]int32
+	// hint, when non-nil, resolves the kernel the builder's caller knows
+	// to be correct for the adjacency it is constructing — the canonical
+	// family constructors set it so Build skips detectKernel's O(n·d)
+	// closed-form verification sweep. The hint is trusted, not verified:
+	// only constructors that emit the canonical labelling may set it.
+	// Hand-built graphs have no hint and keep the full structural
+	// detection.
+	hint func(*CSR) Kernel
 }
 
 // NewBuilder returns a Builder for a graph with n vertices.
@@ -130,7 +184,7 @@ func (b *Builder) AddEdge(u, v int) {
 }
 
 // Build validates the accumulated edges and returns the CSR graph.
-func (b *Builder) Build() (*Graph, error) {
+func (b *Builder) Build() (*CSR, error) {
 	if b.n <= 0 {
 		return nil, errors.New("graph: builder needs at least one vertex")
 	}
@@ -160,7 +214,7 @@ func (b *Builder) Build() (*Graph, error) {
 		adj[cursor[v]] = u
 		cursor[v]++
 	}
-	g := &Graph{name: b.name, offsets: offsets, adj: adj}
+	g := &CSR{name: b.name, offsets: offsets, adj: adj}
 	// Sort each neighbour list and reject duplicates (parallel edges).
 	for v := 0; v < b.n; v++ {
 		ns := g.adj[offsets[v]:offsets[v+1]]
@@ -172,14 +226,18 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 	g.connected = bfsConnected(g)
-	g.kernel = detectKernel(g)
+	if b.hint != nil {
+		g.kernel = b.hint(g)
+	} else {
+		g.kernel = detectKernel(g)
+	}
 	return g, nil
 }
 
 // MustBuild is Build for statically correct constructions; it panics on
 // error and is used by the deterministic family constructors whose inputs
 // are validated up front.
-func (b *Builder) MustBuild() *Graph {
+func (b *Builder) MustBuild() *CSR {
 	g, err := b.Build()
 	if err != nil {
 		panic(err)
@@ -189,7 +247,7 @@ func (b *Builder) MustBuild() *Graph {
 
 // BFS returns the vector of hop distances from src, with -1 for vertices
 // unreachable from src.
-func (g *Graph) BFS(src int) []int32 {
+func (g *CSR) BFS(src int) []int32 {
 	dist := make([]int32, g.N())
 	for i := range dist {
 		dist[i] = -1
@@ -213,10 +271,10 @@ func (g *Graph) BFS(src int) []int32 {
 // IsConnected reports whether the graph is connected. The answer is
 // computed once at Build time, so the call is free in per-trial input
 // validation.
-func (g *Graph) IsConnected() bool { return g.connected }
+func (g *CSR) IsConnected() bool { return g.connected }
 
 // bfsConnected is the one-time Build-side connectivity traversal.
-func bfsConnected(g *Graph) bool {
+func bfsConnected(g *CSR) bool {
 	if g.N() == 0 {
 		return false
 	}
@@ -231,7 +289,7 @@ func bfsConnected(g *Graph) bool {
 // IsBipartite reports whether the graph is bipartite (2-colourable). The
 // simple random walk is periodic exactly on bipartite graphs, which is why
 // the paper's set-hitting bounds switch to lazy walks.
-func (g *Graph) IsBipartite() bool {
+func (g *CSR) IsBipartite() bool {
 	color := make([]int8, g.N())
 	for s := 0; s < g.N(); s++ {
 		if color[s] != 0 {
@@ -257,7 +315,7 @@ func (g *Graph) IsBipartite() bool {
 
 // Diameter returns the graph diameter via BFS from every vertex. Intended
 // for the moderate sizes used in experiments; O(N·M) time.
-func (g *Graph) Diameter() int {
+func (g *CSR) Diameter() int {
 	diam := int32(0)
 	for v := 0; v < g.N(); v++ {
 		for _, d := range g.BFS(v) {
@@ -270,7 +328,7 @@ func (g *Graph) Diameter() int {
 }
 
 // Eccentricity returns max_u dist(v, u).
-func (g *Graph) Eccentricity(v int) int {
+func (g *CSR) Eccentricity(v int) int {
 	ecc := int32(0)
 	for _, d := range g.BFS(v) {
 		if d > ecc {
@@ -282,13 +340,13 @@ func (g *Graph) Eccentricity(v int) int {
 
 // DegreeSum returns the sum of degrees (2·M); it is the normaliser of the
 // stationary distribution π(v) = deg(v) / DegreeSum.
-func (g *Graph) DegreeSum() int { return len(g.adj) }
+func (g *CSR) DegreeSum() int { return len(g.adj) }
 
 // Induced returns the subgraph induced by the given vertices, relabelled
 // 0..len(vertices)-1 in the given order, together with the old-to-new
 // vertex mapping (-1 for dropped vertices). Duplicate vertices are
 // rejected.
-func (g *Graph) Induced(vertices []int) (*Graph, []int, error) {
+func (g *CSR) Induced(vertices []int) (*CSR, []int, error) {
 	remap := make([]int, g.N())
 	for i := range remap {
 		remap[i] = -1

@@ -56,7 +56,7 @@ func TestNeighborsSortedAndSymmetric(t *testing.T) {
 
 // MustAny passes through a graph, failing the test on nil; it exists so
 // table-driven tests read uniformly for fallible and infallible builders.
-func MustAny(t *testing.T, g *Graph) *Graph {
+func MustAny(t *testing.T, g *CSR) *CSR {
 	t.Helper()
 	if g == nil {
 		t.Fatal("nil graph")
@@ -75,7 +75,7 @@ func TestFamilyInvariants(t *testing.T) {
 		t.Fatalf("GNP: %v", err)
 	}
 	cases := []struct {
-		g         *Graph
+		g         *CSR
 		wantN     int
 		wantM     int
 		regular   bool
@@ -324,7 +324,7 @@ func TestRandomTreeIsTree(t *testing.T) {
 
 func TestDiameterKnownValues(t *testing.T) {
 	cases := []struct {
-		g    *Graph
+		g    *CSR
 		want int
 	}{
 		{Path(10), 9},

@@ -10,7 +10,7 @@ import (
 // WriteEdgeList serialises the graph as a plain-text edge list:
 // a header line "n <vertices> <name>" followed by one "u v" line per edge
 // (u < v). The format round-trips through ReadEdgeList.
-func (g *Graph) WriteEdgeList(w io.Writer) error {
+func (g *CSR) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "n %d %s\n", g.N(), g.name); err != nil {
 		return err
@@ -24,7 +24,7 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 }
 
 // ReadEdgeList parses the format written by WriteEdgeList.
-func ReadEdgeList(r io.Reader) (*Graph, error) {
+func ReadEdgeList(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	if !sc.Scan() {
@@ -62,7 +62,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 
 // WriteDOT serialises the graph in Graphviz DOT format, optionally
 // highlighting a set of vertices (e.g. an IDLA aggregate snapshot).
-func (g *Graph) WriteDOT(w io.Writer, highlight map[int]bool) error {
+func (g *CSR) WriteDOT(w io.Writer, highlight map[int]bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle];\n",
 		strings.ReplaceAll(g.name, "\"", "")); err != nil {

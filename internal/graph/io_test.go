@@ -9,7 +9,7 @@ import (
 )
 
 func TestEdgeListRoundTrip(t *testing.T) {
-	for _, g := range []*Graph{Path(7), Lollipop(12), Hypercube(4), RandomTree(20, rng.New(1))} {
+	for _, g := range []*CSR{Path(7), Lollipop(12), Hypercube(4), RandomTree(20, rng.New(1))} {
 		var buf bytes.Buffer
 		if err := g.WriteEdgeList(&buf); err != nil {
 			t.Fatal(err)

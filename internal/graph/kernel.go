@@ -12,7 +12,7 @@ import (
 // i to the i-th neighbour of v in sorted CSR order. Swapping kernels
 // therefore never changes a simulation's sample path, only its speed.
 //
-// Every Graph selects its kernel once at Build time: closed-form kernels
+// Every CSR selects its kernel once at Build time: closed-form kernels
 // for the families whose neighbour structure is pure arithmetic (complete
 // graphs, cycles, paths, hypercubes — no memory touched per step), an
 // offsets-free kernel for fixed-degree regular graphs (one adjacency load
@@ -36,24 +36,25 @@ type Kernel interface {
 	// equivalent Step loop.
 	WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64)
 	// Kind names the kernel family for introspection and tests: one of
-	// "complete", "cycle", "path", "hypercube", "regular", "csr".
+	// "complete", "cycle", "path", "hypercube", "regular", "csr", or —
+	// for the implicit backends — "torus", "circulant", "rregular".
 	Kind() string
 }
 
 // Kernel returns the step kernel selected for this graph at Build time.
 // Hot loops should hoist it out of the loop body.
-func (g *Graph) Kernel() Kernel { return g.kernel }
+func (g *CSR) Kernel() Kernel { return g.kernel }
 
 // GenericKernel returns the fused CSR kernel for this graph regardless of
 // the kernel Build selected, as the reference implementation for
 // kernel-equivalence tests and kernel-vs-generic benchmarks.
-func (g *Graph) GenericKernel() Kernel { return csrKernel{g} }
+func (g *CSR) GenericKernel() Kernel { return csrKernel{g} }
 
 // detectKernel picks the fastest kernel whose closed form provably matches
 // the graph's sorted CSR adjacency. Detection verifies the full neighbour
 // structure (not just the family name), so relabelled or hand-built copies
 // of a family qualify exactly when their adjacency does.
-func detectKernel(g *Graph) Kernel {
+func detectKernel(g *CSR) Kernel {
 	n := g.N()
 	if n >= 2 && matchesClosedForm(g, completeKernel{n: int32(n)}) {
 		return completeKernel{n: int32(n)}
@@ -86,6 +87,17 @@ func detectKernel(g *Graph) Kernel {
 // CSR load at every size.
 const hypercubeClosedFormMinBytes = 1 << 20
 
+// HypercubePrefersCSR reports whether Q_k falls below the closed-form
+// footprint gate, i.e. its CSR adjacency is small enough that the
+// cache-resident regular kernel beats the bit-select arithmetic. Backend
+// routing (graphspec) uses it to decide implicit-vs-CSR for hypercubes.
+func HypercubePrefersCSR(k int) bool {
+	if k < 1 || k > 30 {
+		return true
+	}
+	return int64(4)*int64(k)<<k < hypercubeClosedFormMinBytes
+}
+
 // closedForm is the verification face of an arithmetic kernel: nth(v, i)
 // is its claimed i-th sorted neighbour of v and degree(v) its claimed
 // degree, checked against the real CSR lists before the kernel is adopted.
@@ -97,7 +109,7 @@ type closedForm interface {
 
 // matchesClosedForm reports whether the kernel's arithmetic reproduces the
 // graph's sorted adjacency exactly, vertex by vertex and index by index.
-func matchesClosedForm(g *Graph, k closedForm) bool {
+func matchesClosedForm(g *CSR, k closedForm) bool {
 	for v := 0; v < g.N(); v++ {
 		ns := g.Neighbors(v)
 		if int32(len(ns)) != k.degree(int32(v)) {
@@ -115,7 +127,7 @@ func matchesClosedForm(g *Graph, k closedForm) bool {
 // csrKernel is the fused generic kernel: one row-slice fetch per step in
 // place of the historical Degree-then-Neighbor pair of bounds-checked CSR
 // lookups.
-type csrKernel struct{ g *Graph }
+type csrKernel struct{ g *CSR }
 
 // Kind returns "csr".
 func (csrKernel) Kind() string { return "csr" }

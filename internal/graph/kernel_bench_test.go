@@ -8,7 +8,7 @@ import (
 
 // benchKernel drives steps through the Kernel interface, the dispatch the
 // processes use.
-func benchKernel(b *testing.B, g *Graph, k Kernel) {
+func benchKernel(b *testing.B, g *CSR, k Kernel) {
 	b.Helper()
 	r := rng.New(1)
 	v := int32(0)

@@ -10,7 +10,7 @@ import (
 // near-misses that must fall back to a slower kernel.
 func kernelCases(t *testing.T) []struct {
 	name string
-	g    *Graph
+	g    *CSR
 	kind string
 } {
 	t.Helper()
@@ -24,7 +24,7 @@ func kernelCases(t *testing.T) []struct {
 	}
 	return []struct {
 		name string
-		g    *Graph
+		g    *CSR
 		kind string
 	}{
 		{"complete-2", Complete(2), "complete"},
@@ -123,7 +123,7 @@ func TestClosedFormMatchesCSRList(t *testing.T) {
 
 // genericStep is the historical two-lookup step the kernels must be
 // draw-for-draw identical to.
-func genericStep(g *Graph, v int32, r *rng.Source) int32 {
+func genericStep(g *CSR, v int32, r *rng.Source) int32 {
 	d := int32(g.Degree(int(v)))
 	if d == 1 {
 		return g.Neighbor(int(v), 0)

@@ -7,7 +7,7 @@ import "fmt"
 // h=h' and u~u'. Grids are products of paths, tori products of cycles,
 // and the hypercube is an iterated product of K_2 — the constructor is
 // validated against those identities in tests.
-func Cartesian(g, h *Graph) *Graph {
+func Cartesian(g, h *CSR) *CSR {
 	gn, hn := g.N(), h.N()
 	b := NewBuilder(fmt.Sprintf("(%s)x(%s)", g.Name(), h.Name()), gn*hn)
 	for u := 0; u < gn; u++ {
@@ -37,7 +37,7 @@ func Cartesian(g, h *Graph) *Graph {
 // lattice of the IDLA literature ([23] in the paper), a useful stress
 // case because hitting times are dominated by teeth. Vertices: spine is
 // 0..spine-1; tooth j of spine vertex i occupies spine + i*tooth + j.
-func Comb(spine, tooth int) *Graph {
+func Comb(spine, tooth int) *CSR {
 	if spine < 1 || tooth < 0 {
 		panic("graph: Comb requires spine >= 1, tooth >= 0")
 	}
@@ -61,7 +61,7 @@ func Comb(spine, tooth int) *Graph {
 // bridge (bridge >= 1 edges, bridge-1 intermediate vertices): the classic
 // slow-mixing gadget complementing the lollipop. Vertices 0..k-1 form the
 // first clique, the last k vertices the second.
-func Barbell(k, bridge int) *Graph {
+func Barbell(k, bridge int) *CSR {
 	if k < 2 || bridge < 1 {
 		panic("graph: Barbell requires k >= 2, bridge >= 1")
 	}

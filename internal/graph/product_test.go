@@ -5,7 +5,7 @@ import "testing"
 // isomorphicByDegreesAndEdges is a cheap structural comparison sufficient
 // for the identity tests below where the vertex correspondence is known
 // to be the identity (same index construction).
-func sameGraph(t *testing.T, a, b *Graph) {
+func sameGraph(t *testing.T, a, b *CSR) {
 	t.Helper()
 	if a.N() != b.N() || a.M() != b.M() {
 		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())

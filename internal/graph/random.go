@@ -20,7 +20,7 @@ const maxAttempts = 1000
 // bounded away from zero, and conditioned on acceptance the graph is
 // uniform over simple d-regular graphs — the standard expander family used
 // by Theorem 5.5. n·d must be even.
-func RandomRegular(n, d int, r *rng.Source) (*Graph, error) {
+func RandomRegular(n, d int, r *rng.Source) (*CSR, error) {
 	if d < 1 || d >= n {
 		return nil, fmt.Errorf("graph: RandomRegular requires 1 <= d < n, got d=%d n=%d", d, n)
 	}
@@ -34,6 +34,13 @@ func RandomRegular(n, d int, r *rng.Source) (*Graph, error) {
 		}
 		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 		b := NewBuilder(fmt.Sprintf("random-regular-%d-d%d", n, d), n)
+		// Regularity is guaranteed by construction; skip detection except
+		// at the degenerate degrees where the sample could coincide with a
+		// closed-form family (d = 2 can be the canonical cycle, d = n-1 is
+		// always K_n).
+		if d >= 3 && d < n-1 {
+			b.hint = func(g *CSR) Kernel { return regularKernel{adj: g.adj, deg: int32(d)} }
+		}
 		ok := true
 		seen := make(map[[2]int32]bool, n*d/2)
 		for i := 0; i < len(stubs); i += 2 {
@@ -70,7 +77,7 @@ func RandomRegular(n, d int, r *rng.Source) (*Graph, error) {
 // retrying up to maxAttempts times. The paper (Remark 5.6) uses G(n, p)
 // with np >= c log n, c > 1, where connectivity holds w.h.p., so the
 // conditioning is light.
-func GNP(n int, p float64, r *rng.Source) (*Graph, error) {
+func GNP(n int, p float64, r *rng.Source) (*CSR, error) {
 	if n < 1 || p <= 0 || p > 1 {
 		return nil, fmt.Errorf("graph: GNP requires n >= 1 and 0 < p <= 1")
 	}
@@ -107,7 +114,7 @@ func GNP(n int, p float64, r *rng.Source) (*Graph, error) {
 
 // RandomTree samples a uniformly random labelled tree on n vertices by
 // decoding a uniform Prüfer sequence.
-func RandomTree(n int, r *rng.Source) *Graph {
+func RandomTree(n int, r *rng.Source) *CSR {
 	if n < 1 {
 		panic("graph: RandomTree requires n >= 1")
 	}

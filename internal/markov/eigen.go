@@ -19,7 +19,7 @@ type Spectrum struct {
 // WalkSpectrum computes the full spectrum of the simple random walk on g
 // by Jacobi rotations on the normalised adjacency matrix. O(n³) per sweep
 // with a handful of sweeps; intended for n up to ~1000.
-func WalkSpectrum(g *graph.Graph) (*Spectrum, error) {
+func WalkSpectrum(g *graph.CSR) (*Spectrum, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("markov: empty graph")

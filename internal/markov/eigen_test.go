@@ -78,7 +78,7 @@ func TestWalkSpectrumPathStar(t *testing.T) {
 
 func TestSpectrumSumIsZero(t *testing.T) {
 	// trace(P) = 0 for simple graphs (no self-loops).
-	for _, g := range []*graph.Graph{graph.Lollipop(12), graph.CliqueWithHair(9), graph.Cycle(9)} {
+	for _, g := range []*graph.CSR{graph.Lollipop(12), graph.CliqueWithHair(9), graph.Cycle(9)} {
 		s, err := WalkSpectrum(g)
 		if err != nil {
 			t.Fatal(err)
@@ -112,7 +112,7 @@ func TestEigentimeIdentity(t *testing.T) {
 	// The eigentime identity: Σ_v π(v)·H(u,v) = Σ_{k>=2} 1/(1-λ_k),
 	// independent of u. Cross-validates the Jacobi spectrum against the
 	// Laplacian-pseudo-inverse hitting times.
-	for _, g := range []*graph.Graph{graph.Lollipop(10), graph.Complete(8), graph.Cycle(9), graph.Star(8)} {
+	for _, g := range []*graph.CSR{graph.Lollipop(10), graph.Complete(8), graph.Cycle(9), graph.Star(8)} {
 		s, err := WalkSpectrum(g)
 		if err != nil {
 			t.Fatal(err)

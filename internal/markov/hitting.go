@@ -19,7 +19,7 @@ import (
 //
 // where s(u) = Σ_w deg(w)·L⁺(u,w).
 type Hitting struct {
-	g     *graph.Graph
+	g     *graph.CSR
 	pinv  *Dense
 	s     []float64
 	edges float64
@@ -28,7 +28,7 @@ type Hitting struct {
 // NewHitting computes the hitting-time structure for g. It fails only if
 // the dense solve does (which for a connected graph's shifted Laplacian
 // does not happen).
-func NewHitting(g *graph.Graph) (*Hitting, error) {
+func NewHitting(g *graph.CSR) (*Hitting, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("markov: empty graph")
@@ -124,7 +124,7 @@ func (h *Hitting) MaxFrom(u int) float64 {
 // S get 0. Laziness exactly doubles off-set transition costs, so the lazy
 // values are 2x the simple ones; both are offered because the paper's
 // Section 3 bounds are stated for the lazy walk.
-func HitSetFrom(g *graph.Graph, set []int, lazy bool) ([]float64, error) {
+func HitSetFrom(g *graph.CSR, set []int, lazy bool) ([]float64, error) {
 	n := g.N()
 	inSet := make([]bool, n)
 	for _, v := range set {
@@ -181,7 +181,7 @@ func HitSetFrom(g *graph.Graph, set []int, lazy bool) ([]float64, error) {
 
 // HitSetFromDist returns t_hit(mu, S): the expected hitting time of S from
 // the initial distribution mu.
-func HitSetFromDist(g *graph.Graph, set []int, mu []float64, lazy bool) (float64, error) {
+func HitSetFromDist(g *graph.CSR, set []int, mu []float64, lazy bool) (float64, error) {
 	h, err := HitSetFrom(g, set, lazy)
 	if err != nil {
 		return 0, err
@@ -198,7 +198,7 @@ func HitSetFromDist(g *graph.Graph, set []int, mu []float64, lazy bool) (float64
 // crossing the edge {a, b} towards v takes 2|A(a,b)| - 1 expected steps,
 // where A(a,b) is the component of a after removing the edge. It panics if
 // g is not a tree.
-func TreeHit(g *graph.Graph, u, v int) float64 {
+func TreeHit(g *graph.CSR, u, v int) float64 {
 	if g.M() != g.N()-1 {
 		panic("markov: TreeHit requires a tree")
 	}
@@ -236,7 +236,7 @@ func TreeHit(g *graph.Graph, u, v int) float64 {
 
 // subtreeSizeAway returns the number of vertices in the component of a
 // when the tree edge {a, b} is removed.
-func subtreeSizeAway(g *graph.Graph, a, b int) int {
+func subtreeSizeAway(g *graph.CSR, a, b int) int {
 	count := 0
 	stack := []int32{int32(a)}
 	visited := map[int32]bool{int32(a): true, int32(b): true}

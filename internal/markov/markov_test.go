@@ -16,7 +16,7 @@ func almost(t *testing.T, got, want, tol float64, msg string) {
 }
 
 func TestStationarySumsToOne(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.Path(9), graph.Complete(6), graph.Lollipop(12)} {
+	for _, g := range []*graph.CSR{graph.Path(9), graph.Complete(6), graph.Lollipop(12)} {
 		pi := Stationary(g)
 		var s float64
 		for _, p := range pi {
@@ -291,7 +291,7 @@ func TestConductanceCompleteAndCycle(t *testing.T) {
 
 func TestCheegerRelation(t *testing.T) {
 	// Φ²/2 <= gap(simple chain... use lazy gap vs lazy conductance Φ/2.
-	for _, g := range []*graph.Graph{graph.Cycle(12), graph.Complete(8), graph.Path(10)} {
+	for _, g := range []*graph.CSR{graph.Cycle(12), graph.Complete(8), graph.Path(10)} {
 		phi := ConductanceExhaustive(g) / 2 // lazy walk halves edge flow
 		s := SpectralGap(g, 100000, 1e-13)
 		if s.Gap > 2*phi+1e-9 {

@@ -6,7 +6,7 @@ import (
 
 // TransitionProbability returns p^t(u, v) for the simple or lazy walk by
 // evolving the point distribution at u for t steps. O(t·M) time.
-func TransitionProbability(g *graph.Graph, u, v, t int, lazy bool) float64 {
+func TransitionProbability(g *graph.CSR, u, v, t int, lazy bool) float64 {
 	cur := make([]float64, g.N())
 	next := make([]float64, g.N())
 	cur[u] = 1
@@ -21,7 +21,7 @@ func TransitionProbability(g *graph.Graph, u, v, t int, lazy bool) float64 {
 // visits to u (including time 0) of a length-T lazy walk started at u.
 // This is the quantity controlled in the paper's hypercube analysis
 // (Theorem 5.7) and the Appendix C set-hitting bounds.
-func ExpectedReturns(g *graph.Graph, u, T int, lazy bool) float64 {
+func ExpectedReturns(g *graph.CSR, u, T int, lazy bool) float64 {
 	cur := make([]float64, g.N())
 	next := make([]float64, g.N())
 	cur[u] = 1

@@ -67,7 +67,7 @@ func TestExpectedReturnsCycleGrows(t *testing.T) {
 func TestLemmaC2BoundDominatesExactSetHitting(t *testing.T) {
 	// Verify the Lemma C.2 upper bound against exact lazy set-hitting
 	// times on regular graphs, across set sizes.
-	for _, g := range []*graph.Graph{graph.Hypercube(5), graph.Cycle(32), graph.Complete(32)} {
+	for _, g := range []*graph.CSR{graph.Hypercube(5), graph.Cycle(32), graph.Complete(32)} {
 		sp := SpectralGap(g, 200000, 1e-13)
 		for _, size := range []int{1, 2, 4, 8} {
 			set := make([]int, size)

@@ -23,7 +23,7 @@ type Spectral struct {
 // function. For reversible chains the iteration converges geometrically at
 // rate λ3/λ2; maxIter bounds the work on slowly mixing graphs, and tol is
 // the Rayleigh-quotient convergence threshold.
-func SpectralGap(g *graph.Graph, maxIter int, tol float64) Spectral {
+func SpectralGap(g *graph.CSR, maxIter int, tol float64) Spectral {
 	n := g.N()
 	pi := Stationary(g)
 	r := rng.New(0x5eed)
@@ -65,7 +65,7 @@ func SpectralGap(g *graph.Graph, maxIter int, tol float64) Spectral {
 
 // applyLazy computes pf = P̃ f, acting on functions: (Pf)(u) is the mean of
 // f over the neighbours of u.
-func applyLazy(g *graph.Graph, f, pf []float64) {
+func applyLazy(g *graph.CSR, f, pf []float64) {
 	for u := 0; u < g.N(); u++ {
 		var s float64
 		for _, v := range g.Neighbors(u) {
@@ -111,7 +111,7 @@ func dotPi(f, gvec, pi []float64) float64 {
 // Φ = min over ∅ ≠ S, π(S) <= 1/2 of |E(S, S̄)| / vol(S), by enumerating
 // all 2^(n-1) cuts. It panics for n > 24. Used to validate Cheeger-style
 // bounds in tests and the Prop 3.9 lower bound on small graphs.
-func ConductanceExhaustive(g *graph.Graph) float64 {
+func ConductanceExhaustive(g *graph.CSR) float64 {
 	n := g.N()
 	if n > 24 {
 		panic("markov: ConductanceExhaustive limited to n <= 24")

@@ -13,7 +13,7 @@ import (
 
 // Stationary returns the stationary distribution of the simple (and lazy)
 // random walk on g: π(v) = deg(v) / (2|E|).
-func Stationary(g *graph.Graph) []float64 {
+func Stationary(g *graph.CSR) []float64 {
 	pi := make([]float64, g.N())
 	norm := float64(g.DegreeSum())
 	for v := range pi {
@@ -25,7 +25,7 @@ func Stationary(g *graph.Graph) []float64 {
 // Step advances a probability distribution one step of the walk: dst[v] =
 // sum over u ~ v of src[u]/deg(u), mixed with src for the lazy walk
 // P̃ = (I+P)/2. src and dst must have length g.N() and must not alias.
-func Step(g *graph.Graph, src, dst []float64, lazy bool) {
+func Step(g *graph.CSR, src, dst []float64, lazy bool) {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -59,7 +59,7 @@ func TVDistance(p, q []float64) float64 {
 // the lazy walk started at v, or maxSteps+1 if not reached within
 // maxSteps. The lazy walk is used because the simple walk does not mix on
 // bipartite graphs (the paper's Section 3.1.1 makes the same switch).
-func MixingTimeFrom(g *graph.Graph, v int, eps float64, maxSteps int) int {
+func MixingTimeFrom(g *graph.CSR, v int, eps float64, maxSteps int) int {
 	pi := Stationary(g)
 	cur := make([]float64, g.N())
 	next := make([]float64, g.N())
@@ -80,7 +80,7 @@ func MixingTimeFrom(g *graph.Graph, v int, eps float64, maxSteps int) int {
 // vertex, a max-degree vertex, a min-degree vertex and vertex 0) capture
 // the worst start for every family in this repository. Computing the true
 // max over all n starts is O(n·M·t_mix) and available as MixingTimeExact.
-func MixingTime(g *graph.Graph, maxSteps int) int {
+func MixingTime(g *graph.CSR, maxSteps int) int {
 	cands := candidateStarts(g)
 	worst := 0
 	for _, v := range cands {
@@ -93,7 +93,7 @@ func MixingTime(g *graph.Graph, maxSteps int) int {
 
 // MixingTimeExact returns the exact worst-case lazy mixing time
 // max_v t_mix(v) at eps = 1/4. O(n · M · t_mix) time; intended for small n.
-func MixingTimeExact(g *graph.Graph, maxSteps int) int {
+func MixingTimeExact(g *graph.CSR, maxSteps int) int {
 	worst := 0
 	for v := 0; v < g.N(); v++ {
 		if t := MixingTimeFrom(g, v, 0.25, maxSteps); t > worst {
@@ -103,7 +103,7 @@ func MixingTimeExact(g *graph.Graph, maxSteps int) int {
 	return worst
 }
 
-func candidateStarts(g *graph.Graph) []int {
+func candidateStarts(g *graph.CSR) []int {
 	maxDeg, minDeg := 0, 0
 	for v := 1; v < g.N(); v++ {
 		if g.Degree(v) > g.Degree(maxDeg) {

@@ -15,13 +15,13 @@ import (
 // (closed-form for arithmetic families, fused CSR otherwise); the draws
 // consumed are bit-identical to the historical Degree+Neighbor lookup.
 // Loops stepping many times should hoist g.Kernel() and call it directly.
-func Step(g *graph.Graph, v int32, r *rng.Source) int32 {
+func Step(g *graph.CSR, v int32, r *rng.Source) int32 {
 	return g.Kernel().Step(v, r)
 }
 
 // LazyStep advances a lazy random walk one step: with probability 1/2 the
 // walk stays put, otherwise it moves to a uniform neighbour.
-func LazyStep(g *graph.Graph, v int32, r *rng.Source) int32 {
+func LazyStep(g *graph.CSR, v int32, r *rng.Source) int32 {
 	if r.Bool() {
 		return v
 	}
@@ -31,7 +31,7 @@ func LazyStep(g *graph.Graph, v int32, r *rng.Source) int32 {
 // Trajectory records the full vertex sequence of a simple random walk of
 // the given number of steps, including the start (so the result has
 // steps+1 entries).
-func Trajectory(g *graph.Graph, start int, steps int, r *rng.Source) []int32 {
+func Trajectory(g *graph.CSR, start int, steps int, r *rng.Source) []int32 {
 	kern := g.Kernel()
 	traj := make([]int32, steps+1)
 	traj[0] = int32(start)
@@ -46,7 +46,7 @@ func Trajectory(g *graph.Graph, start int, steps int, r *rng.Source) []int32 {
 // HitTime runs a simple random walk from start until it first reaches
 // target, returning the number of steps taken. maxSteps caps runaway
 // walks; on expiry it returns maxSteps and false.
-func HitTime(g *graph.Graph, start, target int, maxSteps int64, r *rng.Source) (int64, bool) {
+func HitTime(g *graph.CSR, start, target int, maxSteps int64, r *rng.Source) (int64, bool) {
 	kern := g.Kernel()
 	v := int32(start)
 	var t int64
@@ -62,7 +62,7 @@ func HitTime(g *graph.Graph, start, target int, maxSteps int64, r *rng.Source) (
 
 // HitSetTime runs a simple random walk from start until it first reaches
 // any vertex with inSet true.
-func HitSetTime(g *graph.Graph, start int, inSet []bool, maxSteps int64, r *rng.Source) (int64, bool) {
+func HitSetTime(g *graph.CSR, start int, inSet []bool, maxSteps int64, r *rng.Source) (int64, bool) {
 	kern := g.Kernel()
 	v := int32(start)
 	var t int64
@@ -78,7 +78,7 @@ func HitSetTime(g *graph.Graph, start int, inSet []bool, maxSteps int64, r *rng.
 
 // CoverTime runs a simple random walk from start until every vertex has
 // been visited, returning the number of steps. maxSteps caps the walk.
-func CoverTime(g *graph.Graph, start int, maxSteps int64, r *rng.Source) (int64, bool) {
+func CoverTime(g *graph.CSR, start int, maxSteps int64, r *rng.Source) (int64, bool) {
 	kern := g.Kernel()
 	visited := make([]bool, g.N())
 	visited[start] = true
@@ -105,7 +105,7 @@ func CoverTime(g *graph.Graph, start int, maxSteps int64, r *rng.Source) (int64,
 // random walks" the paper's introduction contrasts with dispersion: the
 // walks here never settle, so their trajectory lengths are all equal —
 // none of the dispersion process's correlations arise.
-func MultiCoverTime(g *graph.Graph, start, k int, maxRounds int64, r *rng.Source) (int64, bool) {
+func MultiCoverTime(g *graph.CSR, start, k int, maxRounds int64, r *rng.Source) (int64, bool) {
 	kern := g.Kernel()
 	visited := make([]bool, g.N())
 	visited[start] = true

@@ -1,0 +1,55 @@
+package dispersion_test
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+
+	"dispersion"
+	"dispersion/agg"
+)
+
+// TestMillionVertexSummaryOnlyRSS is the CI memory smoke: a summary-only
+// dispersion job on a million-vertex implicit torus must keep the whole
+// process under a fixed resident budget. The budget is far above the Go
+// runtime and test-harness floor but far below what materialized
+// adjacency (~20 MiB) plus per-worker dense occupancy would accumulate at
+// this size, so an O(n) structure sneaking back into the sparse path
+// fails the step.
+//
+// Peak RSS is a process-wide high-water mark, so the check only means
+// something when this test runs alone in a fresh process; the CI step
+// sets DISPERSION_RSS_SMOKE=1 and runs it with -run, and the test skips
+// otherwise rather than report a neighbouring test's peak.
+func TestMillionVertexSummaryOnlyRSS(t *testing.T) {
+	if os.Getenv("DISPERSION_RSS_SMOKE") == "" {
+		t.Skip("RSS smoke needs its own process; set DISPERSION_RSS_SMOKE=1 and run with -run")
+	}
+	eng := dispersion.Engine{Seed: 8, Experiment: 2, ReuseResults: true}
+	job := dispersion.Job{
+		Process: "sequential",
+		Spec:    "torus:1024x1024",
+		Trials:  5,
+		Options: []dispersion.Option{dispersion.WithParticles(4096)},
+	}
+	sum := agg.NewSummary()
+	if err := eng.Run(context.Background(), job, func(tr dispersion.Trial) error {
+		sum.Add(tr.Result)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != int64(job.Trials) {
+		t.Fatalf("summary folded %d trials, want %d", sum.Trials, job.Trials)
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatal(err)
+	}
+	const budgetKiB = 64 << 10 // 64 MiB; measured peak is ~28 MiB
+	if ru.Maxrss > budgetKiB {
+		t.Errorf("peak RSS %d KiB exceeds the %d KiB summary-only budget", ru.Maxrss, budgetKiB)
+	}
+	t.Logf("peak RSS %d KiB (budget %d KiB)", ru.Maxrss, budgetKiB)
+}

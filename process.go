@@ -22,7 +22,7 @@ type Process interface {
 	// Run executes one realization on g from origin, drawing randomness
 	// from r. It must be deterministic given (g, origin, r state, opts).
 	// The engine hands every trial a source it may retain.
-	Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error)
+	Run(g Graph, origin int, r *Source, opts ...Option) (*Result, error)
 }
 
 var (
@@ -96,13 +96,13 @@ type coreProcess struct {
 	name       string
 	continuous bool
 	forced     []Option
-	runInto    func(g *Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error
+	runInto    func(g Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error
 }
 
 func (p *coreProcess) Name() string     { return p.name }
 func (p *coreProcess) Continuous() bool { return p.continuous }
 
-func (p *coreProcess) Run(g *Graph, origin int, r *Source, opts ...Option) (*Result, error) {
+func (p *coreProcess) Run(g Graph, origin int, r *Source, opts ...Option) (*Result, error) {
 	opt := buildOptions(append(append([]Option(nil), p.forced...), opts...))
 	var ct core.CTResult
 	if err := p.runInto(g, origin, opt, r, nil, &ct); err != nil {
@@ -116,8 +116,8 @@ func (p *coreProcess) Run(g *Graph, origin int, r *Source, opts ...Option) (*Res
 // discreteInto adapts a discrete-time internal process to the shared
 // continuous-time result layout (the clock fields stay untouched and are
 // masked off by setCore).
-func discreteInto(f func(*Graph, int, core.Options, *Source, *core.Scratch, *core.Result) error) func(*Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error {
-	return func(g *Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error {
+func discreteInto(f func(Graph, int, core.Options, *Source, *core.Scratch, *core.Result) error) func(Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error {
+	return func(g Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error {
 		return f(g, origin, opt, r, s, &ct.Result)
 	}
 }
@@ -127,7 +127,7 @@ func init() {
 		name       string
 		aliases    []string
 		continuous bool
-		runInto    func(*Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error
+		runInto    func(Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error
 	}{
 		{"sequential", []string{"seq"}, false, discreteInto(core.SequentialInto)},
 		{"parallel", []string{"par"}, false, discreteInto(core.ParallelInto)},

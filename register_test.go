@@ -12,7 +12,7 @@ type stubProcess struct{ name string }
 
 func (p stubProcess) Name() string   { return p.name }
 func (stubProcess) Continuous() bool { return false }
-func (stubProcess) Run(*dispersion.Graph, int, *dispersion.Source, ...dispersion.Option) (*dispersion.Result, error) {
+func (stubProcess) Run(dispersion.Graph, int, *dispersion.Source, ...dispersion.Option) (*dispersion.Result, error) {
 	return nil, nil
 }
 

@@ -125,7 +125,7 @@ func (res *Result) Unsettled() int {
 // settlement clock is non-decreasing, the recorded dispersion equals the
 // max step count, and recorded trajectories (if any) are genuine walks
 // ending at the settlement vertex.
-func (res *Result) Check(g *Graph) error {
+func (res *Result) Check(g Graph) error {
 	return res.core().Check(g)
 }
 

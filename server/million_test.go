@@ -1,0 +1,47 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"dispersion/agg"
+	"dispersion/server"
+)
+
+// A million-vertex implicit family runs end to end over HTTP: the spec
+// string routes to the implicit torus backend inside the job, summary_only
+// keeps resident state at O(sketch), and the summary comes back with the
+// full trial mass. This is the serving-layer leg of the O(particles)
+// acceptance: the request would be hopeless if the server materialized
+// adjacency or dense occupancy per trial.
+func TestMillionVertexSummaryOnlyJob(t *testing.T) {
+	ts, _ := newServer(t, server.ManagerOptions{})
+	req := server.JobRequest{
+		Process:     "sequential",
+		Spec:        "torus:1024x1024",
+		Trials:      2,
+		Seed:        4,
+		Experiment:  9,
+		SummaryOnly: true,
+		Options:     server.Options{Particles: 4096},
+	}
+	st := submit(t, ts, req)
+	sr := getSummary(t, ts, fmt.Sprintf("%s/v1/jobs/%s/summary?wait=1", ts.URL, st.ID))
+	if sr.State != server.StateDone || sr.Completed != req.Trials {
+		t.Fatalf("million-vertex job state/completed = %s/%d", sr.State, sr.Completed)
+	}
+	var sum agg.Summary
+	if err := json.Unmarshal(sr.Summary, &sum); err != nil {
+		t.Fatalf("decode summary: %v", err)
+	}
+	if sum.Trials != int64(req.Trials) {
+		t.Fatalf("summary folded %d trials, want %d", sum.Trials, req.Trials)
+	}
+	if sum.Makespan.Moments.Mean() <= 0 {
+		t.Fatal("summary carries no makespan mass")
+	}
+	if final := getStatus(t, ts, st.ID); final.Resident != 0 {
+		t.Errorf("summary-only job buffered %d results", final.Resident)
+	}
+}

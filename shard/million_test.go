@@ -1,0 +1,31 @@
+package shard_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dispersion/server"
+	"dispersion/shard"
+)
+
+// The sketch-merge mode carries million-vertex implicit families across
+// shards: each worker server runs its trial range as a summary_only job on
+// the implicit torus (O(particles + sketch) per shard), and the merged
+// summary is byte-identical to one contiguous run — the distributed leg of
+// the O(particles)-memory acceptance.
+func TestRunSummaryMillionVertexImplicit(t *testing.T) {
+	servers := newServers(t, 2)
+	req := server.JobRequest{
+		Process:    "sequential",
+		Spec:       "torus:1024x1024",
+		Trials:     4,
+		Seed:       12,
+		Experiment: 5,
+		Options:    server.Options{Particles: 4096},
+	}
+	want := directSummary(t, req)
+	c := &shard.Coordinator{Servers: servers, Shards: 2}
+	if got := runSummaryJSON(t, c, req); !bytes.Equal(got, want) {
+		t.Fatalf("merged million-vertex summary differs from contiguous run:\n%s\n%s", got, want)
+	}
+}

@@ -28,6 +28,7 @@ func directSummary(t *testing.T, req server.JobRequest) []byte {
 		Origin:     req.Origin,
 		Trials:     req.Trials,
 		FirstTrial: req.FirstTrial,
+		Options:    req.Options.Build(),
 	}, func(tr dispersion.Trial) error {
 		sum.Add(tr.Result)
 		return nil

@@ -163,7 +163,7 @@ func TestSummaryMatchesOfflineStats(t *testing.T) {
 func TestSummaryMeanMatchesExact(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		g    *graph.Graph
+		g    *graph.CSR
 	}{
 		{"complete:5", graph.Complete(5)},
 		{"star:5", graph.Star(5)},

@@ -25,11 +25,11 @@ import (
 // strongly non-uniform harmonic measures.
 func variantGraphs() []struct {
 	name string
-	g    *graph.Graph
+	g    *graph.CSR
 } {
 	return []struct {
 		name string
-		g    *graph.Graph
+		g    *graph.CSR
 	}{
 		{"complete-5", graph.Complete(5)},
 		{"star-5", graph.Star(5)},
@@ -39,7 +39,7 @@ func variantGraphs() []struct {
 
 // exactSeqVariant computes the exact E[TotalSteps] of a Sequential-process
 // variant, failing the test on solver errors.
-func exactSeqVariant(t *testing.T, g *graph.Graph, v exact.SeqVariant) float64 {
+func exactSeqVariant(t *testing.T, g *graph.CSR, v exact.SeqVariant) float64 {
 	t.Helper()
 	want, err := exact.SeqExpectedTotalSteps(g, 0, v)
 	if err != nil {
