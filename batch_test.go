@@ -1,0 +1,333 @@
+package dispersion_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dispersion"
+	"dispersion/agg"
+	"dispersion/internal/exact"
+	"dispersion/internal/graph"
+)
+
+// TestBatchedSummaryInvariance is the batched determinism contract at the
+// engine layer: over 10^4 trials on K_64 (full load) and the 4096-cycle
+// (32 particles), the trial summary is byte-identical for every batch
+// width, worker count and trial sharding — the batched stream depends
+// only on the (seed, experiment, trial) lineage, never on scheduling.
+func TestBatchedSummaryInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-trial invariance sweep")
+	}
+	const total = 10_000
+	for _, tc := range []struct {
+		spec string
+		opts []dispersion.Option
+	}{
+		{"complete:64", nil},
+		{"cycle:4096", []dispersion.Option{dispersion.WithParticles(32)}},
+	} {
+		base := dispersion.Job{
+			Process: "sequential",
+			Spec:    tc.spec,
+			Trials:  total,
+			Options: append(append([]dispersion.Option(nil), tc.opts...), dispersion.WithBatch(64)),
+		}
+		_, want := foldSummary(t, dispersion.Engine{Seed: 5, Experiment: 3, Workers: 4}, base)
+
+		// Different batch widths and worker counts over the contiguous
+		// range.
+		for _, v := range []struct {
+			batch, workers int
+			reuse          bool
+		}{
+			{1, 1, false},
+			{7, 5, true},
+			{256, 2, false},
+		} {
+			job := base
+			job.Options = append(append([]dispersion.Option(nil), tc.opts...), dispersion.WithBatch(v.batch))
+			eng := dispersion.Engine{Seed: 5, Experiment: 3, Workers: v.workers, ReuseResults: v.reuse}
+			_, got := foldSummary(t, eng, job)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: batch %d workers %d diverged from the baseline summary", tc.spec, v.batch, v.workers)
+			}
+		}
+
+		// Sharded: two FirstTrial ranges with different batch widths and
+		// worker counts, merged.
+		merged := agg.NewSummary()
+		first := 0
+		for i, shard := range []struct {
+			trials, batch, workers int
+		}{
+			{4_000, 32, 3},
+			{6_000, 128, 6},
+		} {
+			job := base
+			job.FirstTrial, job.Trials = first, shard.trials
+			job.Options = append(append([]dispersion.Option(nil), tc.opts...), dispersion.WithBatch(shard.batch))
+			eng := dispersion.Engine{Seed: 5, Experiment: 3, Workers: shard.workers, ReuseResults: i%2 == 0}
+			part, _ := foldSummary(t, eng, job)
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+			first += shard.trials
+		}
+		got, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: sharded batched summary diverged from the contiguous one", tc.spec)
+		}
+	}
+}
+
+// TestBatchedMeanMatchesExact pins the batched path's dispersion mean on
+// K_5 against the internal/exact subset DP — the ground-truth side of the
+// "distribution-identical to scalar" contract, since the scalar path is
+// pinned to the same constant.
+func TestBatchedMeanMatchesExact(t *testing.T) {
+	g := graph.Complete(5)
+	e, err := exact.NewSequential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, tail := e.ExpectedDispersion(400)
+	if tail > 1e-9 {
+		t.Fatalf("exact computation truncated too early (tail %g)", tail)
+	}
+	eng := dispersion.Engine{Seed: 11, Experiment: 7}
+	xs, err := eng.Sample(context.Background(), dispersion.Job{
+		Process: "sequential",
+		Graph:   g,
+		Trials:  6000,
+		Options: []dispersion.Option{dispersion.WithBatch(16)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	got := sum / float64(len(xs))
+	if diff := math.Abs(got - mean); diff > 0.05*mean {
+		t.Fatalf("batched mean %.4f vs exact %.4f (diff %.4f)", got, mean, diff)
+	}
+}
+
+// TestBatchedMatchesScalarStats compares the batched and scalar paths as
+// estimators on the same jobs: their dispersion and total-steps means
+// must agree within a generous multiple of the Monte-Carlo standard
+// error. The streams differ (counter-mode vs xoshiro), the laws must not.
+func TestBatchedMatchesScalarStats(t *testing.T) {
+	const trials = 6000
+	for _, tc := range []struct {
+		spec string
+		opts []dispersion.Option
+	}{
+		{"complete:64", nil},
+		{"cycle:4096", []dispersion.Option{dispersion.WithParticles(32)}},
+	} {
+		base := dispersion.Job{Process: "sequential", Spec: tc.spec, Trials: trials, Options: tc.opts}
+		batched := base
+		batched.Options = append(append([]dispersion.Option(nil), tc.opts...), dispersion.WithBatch(64))
+		eng := dispersion.Engine{Seed: 3, Experiment: 9}
+		for name, sample := range map[string]func(context.Context, dispersion.Job) ([]float64, error){
+			"dispersion": eng.Sample,
+			"totalsteps": eng.TotalSteps,
+		} {
+			xs, err := sample(context.Background(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ys, err := sample(context.Background(), batched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mx, vx := meanVar(xs)
+			my, vy := meanVar(ys)
+			se := math.Sqrt(vx/float64(len(xs)) + vy/float64(len(ys)))
+			if diff := math.Abs(mx - my); diff > 6*se+1e-9 {
+				t.Errorf("%s %s: scalar mean %.4f vs batched %.4f (diff %.4f, 6·se %.4f)",
+					tc.spec, name, mx, my, diff, 6*se)
+			}
+		}
+	}
+}
+
+// meanVar returns the sample mean and (unbiased) variance of xs.
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+// TestWeightedRegistry runs every registered process on a weighted
+// backend — the alias-table kernel behind graph.WeightedCSR — checks each
+// result's structural invariants, and requires the result stream to be
+// worker-count invariant, extending the registry determinism suite to
+// weighted graphs. Lane-capable processes repeat the run batched.
+func TestWeightedRegistry(t *testing.T) {
+	g, err := graph.WeightedComplete(12, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range dispersion.Processes() {
+		job := dispersion.Job{Process: proc, Graph: g, Trials: 8}
+		_, want := foldSummary(t, dispersion.Engine{Seed: 2, Experiment: 4, Workers: 1}, job)
+		err := dispersion.Engine{Seed: 2, Experiment: 4, Workers: 5}.Run(context.Background(), job,
+			func(tr dispersion.Trial) error { return tr.Result.Check(g) })
+		if err != nil {
+			t.Fatalf("%s on %s: %v", proc, g.Name(), err)
+		}
+		_, got := foldSummary(t, dispersion.Engine{Seed: 2, Experiment: 4, Workers: 5}, job)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s on %s: summary depends on worker count", proc, g.Name())
+		}
+
+		batched := job
+		batched.Options = []dispersion.Option{dispersion.WithBatch(3)}
+		err = dispersion.Engine{Seed: 2, Experiment: 4}.Run(context.Background(), batched,
+			func(tr dispersion.Trial) error { return tr.Result.Check(g) })
+		if isLaneCapable(proc) {
+			if err != nil {
+				t.Fatalf("%s batched on %s: %v", proc, g.Name(), err)
+			}
+		} else if err == nil {
+			t.Fatalf("%s: WithBatch accepted by a process with no batched form", proc)
+		}
+	}
+}
+
+// isLaneCapable reports whether the process has a batched form
+// (Sequential-family only; see WithBatch).
+func isLaneCapable(proc string) bool {
+	switch proc {
+	case "sequential", "sequential-geom", "sequential-threshold", "capacity",
+		"lazy-sequential", "lazy-sequential-geom", "lazy-sequential-threshold", "lazy-capacity":
+		return true
+	}
+	return false
+}
+
+// TestBatchedManyWorkersSmallB floods the lane scheduler with far more
+// workers than lane slots — the CI -race smoke shape — and checks the
+// delivery order and per-trial invariants survive.
+func TestBatchedManyWorkersSmallB(t *testing.T) {
+	g := graph.Complete(16)
+	eng := dispersion.Engine{Seed: 13, Experiment: 1, Workers: 16, ReuseResults: true}
+	next := 0
+	err := eng.Run(context.Background(), dispersion.Job{
+		Process: "sequential",
+		Graph:   g,
+		Trials:  600,
+		Options: []dispersion.Option{dispersion.WithBatch(2)},
+	}, func(tr dispersion.Trial) error {
+		if tr.Index != next {
+			t.Fatalf("trial %d delivered out of order (want %d)", tr.Index, next)
+		}
+		next++
+		return tr.Result.Check(g)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 600 {
+		t.Fatalf("delivered %d trials, want 600", next)
+	}
+}
+
+// TestCapacitiesMatchExact pins WithCapacities runs — scalar and batched
+// — against the vector-capacity DP in internal/exact on K_4 and the
+// 4-vertex star: the total-steps and dispersion means must match the
+// exact constants.
+func TestCapacitiesMatchExact(t *testing.T) {
+	const trials = 6000
+	for _, tc := range []struct {
+		g    *graph.CSR
+		caps []int
+	}{
+		{graph.Complete(4), []int{2, 1, 1, 3}},
+		{graph.Star(4), []int{1, 2, 1, 2}},
+	} {
+		wantTotal, err := exact.CapacityVecExpectedTotalSteps(tc.g, 0, tc.caps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDisp, tail, err := exact.CapacityVecExpectedDispersion(tc.g, 0, tc.caps, 0, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail > 1e-9 {
+			t.Fatalf("%s: exact dispersion truncated too early (tail %g)", tc.g.Name(), tail)
+		}
+		for name, opts := range map[string][]dispersion.Option{
+			"scalar":  {dispersion.WithCapacities(tc.caps)},
+			"batched": {dispersion.WithCapacities(tc.caps), dispersion.WithBatch(16)},
+		} {
+			eng := dispersion.Engine{Seed: 17, Experiment: 5}
+			job := dispersion.Job{Process: "capacity", Graph: tc.g, Trials: trials, Options: opts}
+			totals, err := eng.TotalSteps(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disps, err := eng.Sample(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt, _ := meanVar(totals)
+			md, _ := meanVar(disps)
+			if diff := math.Abs(mt - wantTotal); diff > 0.05*wantTotal+0.05 {
+				t.Errorf("%s %s: total-steps mean %.4f vs exact %.4f", tc.g.Name(), name, mt, wantTotal)
+			}
+			if diff := math.Abs(md - wantDisp); diff > 0.05*wantDisp+0.05 {
+				t.Errorf("%s %s: dispersion mean %.4f vs exact %.4f", tc.g.Name(), name, md, wantDisp)
+			}
+		}
+	}
+}
+
+// TestBatchedOptionErrors covers the engine-level rejections of WithBatch
+// combinations the lane cannot honor.
+func TestBatchedOptionErrors(t *testing.T) {
+	g := graph.Complete(8)
+	run := func(proc string, opts ...dispersion.Option) error {
+		return dispersion.Engine{Seed: 1}.Run(context.Background(),
+			dispersion.Job{Process: proc, Graph: g, Trials: 4, Options: opts}, nil)
+	}
+	if err := run("parallel", dispersion.WithBatch(8)); err == nil {
+		t.Error("WithBatch accepted on the parallel process")
+	}
+	if err := run("sequential", dispersion.WithBatch(8), dispersion.WithRecord()); err == nil {
+		t.Error("WithBatch + WithRecord accepted")
+	}
+	if err := run("sequential", dispersion.WithBatch(8),
+		dispersion.WithSettleRule(func(v int32, step int64) bool { return true })); err == nil {
+		t.Error("WithBatch + WithSettleRule accepted")
+	}
+	if err := run("sequential", dispersion.WithBatch(-3)); err == nil {
+		t.Error("negative batch width accepted")
+	}
+
+	// The one-shot Process.Run path rejects the same shapes.
+	p, err := dispersion.Lookup("parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(g, 0, dispersion.NewSource(1), dispersion.WithBatch(4)); err == nil {
+		t.Error("one-shot WithBatch accepted on the parallel process")
+	}
+}

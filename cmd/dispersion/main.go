@@ -14,10 +14,13 @@
 //
 // Graph specs: path:N cycle:N complete:N star:N hypercube:K bintree:LEVELS
 // lollipop:N hair:N pimple:N,H treepath:LEVELS,PATHLEN grid:AxB torus:AxB
-// circulant:N,S1[,S2...] rregular:N,D regular:N,D gnp:N,P tree:N. The
-// arithmetic families (torus, circulant, rregular, and the closed forms)
-// build implicit backends, so million-vertex sizes run in O(particles)
-// memory — e.g. -graph torus:2048x2048 -particles 4096.
+// circulant:N,S1[,S2...] rregular:N,D regular:N,D gnp:N,P tree:N
+// wcomplete:N,ALPHA wcycle:N,B. The arithmetic families (torus,
+// circulant, rregular, and the closed forms) build implicit backends, so
+// million-vertex sizes run in O(particles) memory — e.g. -graph
+// torus:2048x2048 -particles 4096. The w-prefixed families are weighted
+// (alias-table walk kernels); add -batch to run the Sequential-family
+// processes through the batched lane scheduler.
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 			"settle-rule parameter: geom's settle probability, thresh's minimum steps (0 = process default)")
 		capacity = flag.Int("capacity", 0,
 			"per-vertex capacity of the capacity processes (0 = default 2)")
+		batch = flag.Int("batch", 0,
+			"run trials through the batched lane scheduler, this many lanes per block (0 = scalar)")
 		csvPath     = flag.String("csv", "", "write per-trial scalar rows as CSV to this file")
 		jsonlPath   = flag.String("jsonl", "", "write full per-trial results as JSONL to this file")
 		summaryPath = flag.String("summary", "", `write the mergeable agg.Summary JSON to this file ("-" = stdout)`)
@@ -78,6 +83,9 @@ func main() {
 	}
 	if *capacity != 0 {
 		opts = append(opts, dispersion.WithCapacity(*capacity))
+	}
+	if *batch != 0 {
+		opts = append(opts, dispersion.WithBatch(*batch))
 	}
 
 	// The run streams every trial through one callback: makespan

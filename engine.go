@@ -173,6 +173,9 @@ type trialCell struct {
 // are bit-for-bit the same.
 func (e Engine) runCore(ctx context.Context, rn *walk.Runner, cp *coreProcess, g Graph, job Job, each func(Trial) error) error {
 	opt := buildOptions(append(append([]Option(nil), cp.forced...), job.Options...))
+	if opt.Batch != 0 {
+		return e.runCoreLane(ctx, rn, cp, g, job, opt, each)
+	}
 	var pool sync.Pool
 	getCell := func() *trialCell { return new(trialCell) }
 	if e.ReuseResults {
@@ -202,6 +205,99 @@ func (e Engine) runCore(ctx context.Context, rn *walk.Runner, cp *coreProcess, g
 				pool.Put(cell)
 			}
 			return err
+		})
+}
+
+// laneCell carries one block of batched trials from a worker to the
+// collector: the internal result buffers, the *Result views handed to
+// RunLane, the public views delivered to the callback, and the block's
+// trial seeds. Under ReuseResults whole cells cycle through a pool.
+type laneCell struct {
+	res   []core.Result
+	ptrs  []*core.Result
+	outs  []Result
+	seeds []uint64
+}
+
+// grow sizes the cell for a block of n trials, reusing backing arrays.
+func (c *laneCell) grow(n int) {
+	if cap(c.res) < n {
+		c.res = make([]core.Result, n)
+		c.ptrs = make([]*core.Result, n)
+		c.outs = make([]Result, n)
+		c.seeds = make([]uint64, n)
+	}
+	c.res = c.res[:n]
+	c.ptrs = c.ptrs[:n]
+	c.outs = c.outs[:n]
+	c.seeds = c.seeds[:n]
+	for i := range c.ptrs {
+		c.ptrs[i] = &c.res[i]
+	}
+}
+
+// runCoreLane is the batched hot path selected by WithBatch: trials are
+// grouped into blocks of Batch, each block runs as one core.RunLane lane
+// on a worker (SoA particle state, counter-mode slot streams, fused
+// StepLane kernels), and the collector unpacks blocks back into
+// per-trial deliveries in strict trial order. Trial i's stream is seeded
+// from the (Seed, Experiment, i) lineage, so results are bit-identical
+// for any Batch, Workers or sharding — and distribution-identical to the
+// scalar path.
+func (e Engine) runCoreLane(ctx context.Context, rn *walk.Runner, cp *coreProcess, g Graph, job Job, opt core.Options, each func(Trial) error) error {
+	if cp.lane == core.LaneNone {
+		return fmt.Errorf("dispersion: process %q has no batched form (WithBatch covers the Sequential-family processes)", cp.name)
+	}
+	b := opt.Batch
+	if b < 1 {
+		return fmt.Errorf("dispersion: batch width %d (want at least 1)", b)
+	}
+	end := job.FirstTrial + job.Trials
+	numBlocks := (job.Trials + b - 1) / b
+	var pool sync.Pool
+	getCell := func() *laneCell { return new(laneCell) }
+	if e.ReuseResults {
+		getCell = func() *laneCell {
+			if cell, ok := pool.Get().(*laneCell); ok {
+				return cell
+			}
+			return new(laneCell)
+		}
+	}
+	return walk.StreamState(ctx, rn, 0, numBlocks,
+		core.NewScratch,
+		func(block int, _ *Source, s *core.Scratch) (*laneCell, error) {
+			lo := job.FirstTrial + block*b
+			cnt := b
+			if lo+cnt > end {
+				cnt = end - lo
+			}
+			cell := getCell()
+			cell.grow(cnt)
+			for t := 0; t < cnt; t++ {
+				cell.seeds[t] = rn.TrialSeed(lo + t)
+			}
+			if err := core.RunLane(g, job.Origin, opt, cp.lane, cell.seeds, s, cell.ptrs); err != nil {
+				return nil, err
+			}
+			for t := 0; t < cnt; t++ {
+				cell.outs[t].setCoreResult(&cell.res[t], cp.name)
+			}
+			return cell, nil
+		},
+		func(block int, cell *laneCell) error {
+			lo := job.FirstTrial + block*b
+			if each != nil {
+				for t := range cell.outs {
+					if err := each(Trial{Index: lo + t, Result: &cell.outs[t]}); err != nil {
+						return err
+					}
+				}
+			}
+			if e.ReuseResults {
+				pool.Put(cell)
+			}
+			return nil
 		})
 }
 

@@ -23,6 +23,12 @@ func FuzzParse(f *testing.F) {
 		"circulant:8,1,1", "circulant:7,-2", "circulant:2,1,x",
 		"rregular:1000000,4", "rregular:30,3", "rregular:16,", "rregular:,4",
 		"rregular:16,4,9", "torus:1024x1024", "torus:0x4", "torus:2x2",
+		// Weighted-family syntaxes: float parameters, plus malformed
+		// variants (missing comma, bad float, non-positive weights).
+		"wcomplete:64,0.5", "wcomplete:8,-1", "wcomplete:8,0", "wcomplete:8",
+		"wcomplete:8,nan", "wcomplete:8,inf", "wcomplete:,1", "wcomplete:8,1,2",
+		"wcycle:4096,3", "wcycle:9,0.25", "wcycle:5,", "wcycle:5,-2",
+		"wcycle:2,1", "wcycle:x,1",
 	} {
 		f.Add(seed)
 	}

@@ -5,6 +5,12 @@
 //	lollipop:N  hair:N  pimple:N,H  treepath:LEVELS,PATHLEN
 //	grid:AxB[xC...]  torus:AxB[xC...]  circulant:N,S1[,S2...]
 //	regular:N,D  rregular:N,D  gnp:N,P  tree:N
+//	wcomplete:N,ALPHA  wcycle:N,B
+//
+// The w-prefixed kinds build weighted graphs (graph.WeightedCSR) whose
+// walks draw neighbors in proportion to per-edge weights through Walker
+// alias tables: wcomplete weights edge {u,v} by ((u+1)(v+1))^ALPHA, and
+// wcycle gives the cycle's odd-vertex edges weight B against 1.
 //
 // A spec names a graph family and its parameters; random families
 // (regular, rregular, gnp, tree) are drawn deterministically from a
@@ -212,6 +218,38 @@ var builders = map[string]builder{
 		}
 		return graph.RandomTree(n, r), nil
 	}},
+	"wcomplete": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		n, alpha, err := intFloatArgs(s, "N,ALPHA")
+		if err != nil {
+			return nil, err
+		}
+		return graph.WeightedComplete(n, alpha)
+	}},
+	"wcycle": {build: func(s Spec, _ *rng.Source) (graph.Graph, error) {
+		n, bias, err := intFloatArgs(s, "N,B")
+		if err != nil {
+			return nil, err
+		}
+		return graph.WeightedCycle(n, bias)
+	}},
+}
+
+// intFloatArgs splits an "INT,FLOAT" argument pair, the shape of the
+// weighted-family parameters.
+func intFloatArgs(s Spec, want string) (int, float64, error) {
+	nStr, fStr, ok := strings.Cut(s.Args, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("graphspec: %s wants %s", s.Kind, want)
+	}
+	n, err := atoi(s, nStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(fStr), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("graphspec: bad float %q in spec %q", fStr, s.String())
+	}
+	return n, f, nil
 }
 
 func atoi(s Spec, v string) (int, error) {

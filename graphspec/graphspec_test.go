@@ -29,6 +29,9 @@ func TestBuildValid(t *testing.T) {
 		{"tree:25", 25},
 		{"circulant:20,1,3", 20},
 		{"rregular:24,4", 24},
+		{"wcomplete:8,0.5", 8},
+		{"wcomplete:6,-1", 6},
+		{"wcycle:12,3", 12},
 	}
 	for _, c := range cases {
 		g, err := Build(c.spec, 1)
@@ -74,6 +77,8 @@ func TestBuildInvalid(t *testing.T) {
 		"circulant:12", "circulant:8,0", "circulant:8,5", // offset > n/2
 		"circulant:12,3,6,3",                            // repeated offset
 		"rregular:16", "rregular:16,3", "rregular:16,0", // odd / zero degree
+		"wcomplete:8", "wcomplete:8,x", "wcomplete:1,1", "wcomplete:8,nan",
+		"wcycle:2,1", "wcycle:5,-1", "wcycle:5,0", "wcycle:5,+Inf",
 	} {
 		if _, err := Build(spec, 1); err == nil {
 			t.Errorf("spec %q accepted", spec)
@@ -108,6 +113,7 @@ func TestRandomFamilies(t *testing.T) {
 		"regular:16,3": true, "gnp:10,0.5": true, "tree:12": true,
 		"rregular:16,4": true,
 		"complete:8":    false, "grid:3x3": false, "circulant:8,1": false,
+		"wcomplete:8,1": false, "wcycle:8,2": false,
 	} {
 		s, err := Parse(spec)
 		if err != nil {

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dispersion"
@@ -317,6 +318,16 @@ func OptionsLabel(o server.Options) string {
 	}
 	if o.Capacity != 0 {
 		parts = append(parts, fmt.Sprintf("capacity=%d", o.Capacity))
+	}
+	if len(o.Capacities) > 0 {
+		caps := make([]string, len(o.Capacities))
+		for i, c := range o.Capacities {
+			caps[i] = strconv.Itoa(c)
+		}
+		parts = append(parts, "caps="+strings.Join(caps, "-"))
+	}
+	if o.Batch != 0 {
+		parts = append(parts, fmt.Sprintf("batch=%d", o.Batch))
 	}
 	return strings.Join(parts, ",")
 }

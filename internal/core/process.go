@@ -80,10 +80,27 @@ type Options struct {
 	// particles. Zero means DefaultCapacity. The unit-capacity processes
 	// ignore it.
 	Capacity int
+	// Capacities gives every vertex its own capacity in the capacity
+	// processes: vertex v hosts up to Capacities[v] settled particles. The
+	// vector must have one entry per vertex, each in [1, maxCapacity], and
+	// is mutually exclusive with Capacity. By default Sum(Capacities)
+	// particles disperse; Result.Capacity reports the vector's maximum.
+	// Nil selects the uniform law.
+	Capacities []int
+	// Batch selects the batched execution mode: Batch concurrent trials
+	// advance together through one SoA lane per worker, stepped by the
+	// graph kernel's fused lane loops. Zero (the default) is the scalar
+	// path. Batched trials draw from per-trial counter-mode streams (see
+	// rng's lane seed law), so their results are pure functions of (seed,
+	// experiment, trial) — invariant to the batch width, worker count and
+	// sharding — and distribution-identical (not bit-identical) to the
+	// scalar path. Only the Sequential-family processes have a batched
+	// form.
+	Batch int
 }
 
 // numParticles resolves Options.Particles against the graph size.
-func (o Options) numParticles(n int) (int, error) {
+func (o *Options) numParticles(n int) (int, error) {
 	k := o.Particles
 	if k == 0 {
 		k = n
@@ -104,7 +121,7 @@ const DefaultCapacity = 2
 const maxCapacity = 1 << 20
 
 // capacity resolves Options.Capacity for the capacity processes.
-func (o Options) capacity() (int, error) {
+func (o *Options) capacity() (int, error) {
 	c := o.Capacity
 	if c == 0 {
 		c = DefaultCapacity
@@ -115,21 +132,71 @@ func (o Options) capacity() (int, error) {
 	return c, nil
 }
 
-// numParticlesCap resolves Options.Particles against the total capacity
-// c·n of a capacity-c run. Zero means fill every vertex to capacity.
-func (o Options) numParticlesCap(n, c int) (int, error) {
+// capPlan is the resolved per-vertex capacity law of a capacity-process
+// run: either a uniform capacity or the Options.Capacities vector.
+type capPlan struct {
+	// uniform is the capacity every vertex shares, or the vector's maximum
+	// for vector runs (what Result.Capacity reports either way).
+	uniform int
+	// caps is the per-vertex vector; nil selects the uniform law.
+	caps []int
+	// total is the summed capacity — the default (and maximum) particle
+	// count.
+	total int
+}
+
+// at returns vertex v's capacity under the plan.
+func (p *capPlan) at(v int32) int {
+	if p.caps != nil {
+		return p.caps[v]
+	}
+	return p.uniform
+}
+
+// capacityPlan resolves Options.Capacity/Capacities for a graph with n
+// vertices.
+func (o *Options) capacityPlan(n int) (capPlan, error) {
+	if len(o.Capacities) > 0 {
+		if o.Capacity != 0 {
+			return capPlan{}, fmt.Errorf("core: Capacity and Capacities are mutually exclusive")
+		}
+		if len(o.Capacities) != n {
+			return capPlan{}, fmt.Errorf("core: %d per-vertex capacities for %d vertices", len(o.Capacities), n)
+		}
+		p := capPlan{caps: o.Capacities}
+		for v, c := range o.Capacities {
+			if c < 1 || c > maxCapacity {
+				return capPlan{}, fmt.Errorf("core: vertex %d capacity %d (want 1..%d)", v, c, maxCapacity)
+			}
+			p.total += c
+			if c > p.uniform {
+				p.uniform = c
+			}
+		}
+		return p, nil
+	}
+	c, err := o.capacity()
+	if err != nil {
+		return capPlan{}, err
+	}
+	return capPlan{uniform: c, total: c * n}, nil
+}
+
+// numParticlesCap resolves Options.Particles against the plan's total
+// capacity. Zero means fill every vertex to capacity.
+func (o *Options) numParticlesCap(n int, p capPlan) (int, error) {
 	k := o.Particles
 	if k == 0 {
-		k = c * n
+		k = p.total
 	}
-	if k < 1 || k > c*n {
-		return 0, fmt.Errorf("core: %d particles on %d vertices of capacity %d (want 1..%d)", k, n, c, c*n)
+	if k < 1 || k > p.total {
+		return 0, fmt.Errorf("core: %d particles on %d vertices of total capacity %d (want 1..%d)", k, n, p.total, p.total)
 	}
 	return k, nil
 }
 
 // startVertex returns the origin for the next particle under the options.
-func (o Options) startVertex(origin, n int, r *rng.Source) int32 {
+func (o *Options) startVertex(origin, n int, r *rng.Source) int32 {
 	if o.RandomOrigins {
 		return int32(r.Intn(n))
 	}

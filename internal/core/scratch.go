@@ -37,6 +37,10 @@ type Scratch struct {
 	active []int32
 	prio   []int32
 	events eventHeap
+
+	// lane is the SoA state bank of the batched execution mode (see
+	// lane.go); it stays empty until the worker's first RunLane call.
+	lane laneState
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.

@@ -19,7 +19,7 @@ import (
 // geomParam resolves Options.SettleParam as SequentialGeom's per-visit
 // settle probability q. Zero means the default 1/2; q = 1 recovers the
 // standard rule.
-func (o Options) geomParam() (float64, error) {
+func (o *Options) geomParam() (float64, error) {
 	q := o.SettleParam
 	if q == 0 {
 		q = 0.5
@@ -36,7 +36,7 @@ func (o Options) geomParam() (float64, error) {
 // minimum step count T (the fractional part is truncated). Zero means the
 // default n, the graph size; T = 0 is expressed by any negative-free
 // sub-one value and recovers the standard rule.
-func (o Options) thresholdParam(n int) (int64, error) {
+func (o *Options) thresholdParam(n int) (int64, error) {
 	if o.SettleParam == 0 {
 		return int64(n), nil
 	}
@@ -267,11 +267,11 @@ func CapacitySequential(g graph.Graph, origin int, opt Options, r *rng.Source) (
 // still runs behind one kernel dispatch.
 func CapacitySequentialInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
-	c, err := opt.capacity()
+	plan, err := opt.capacityPlan(n)
 	if err != nil {
 		return err
 	}
-	k, err := opt.numParticlesCap(n, c)
+	k, err := opt.numParticlesCap(n, plan)
 	if err != nil {
 		return err
 	}
@@ -282,7 +282,7 @@ func CapacitySequentialInto(g graph.Graph, origin int, opt Options, r *rng.Sourc
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	res.Capacity = c
+	res.Capacity = plan.uniform
 	s.beginRun(n, k)
 	s.counts(n)
 	kern := g.Kernel()
@@ -302,7 +302,7 @@ func CapacitySequentialInto(g graph.Graph, origin int, opt Options, r *rng.Sourc
 			}
 			cv := s.count(v) + 1
 			s.setCount(v, cv)
-			if int(cv) == c {
+			if int(cv) == plan.at(v) {
 				s.occupy(v)
 			}
 			res.settle(i, v, steps, res.TotalSteps)
@@ -327,7 +327,7 @@ func CapacitySequentialInto(g graph.Graph, origin int, opt Options, r *rng.Sourc
 		}
 		cv := s.count(v) + 1
 		s.setCount(v, cv)
-		if int(cv) == c {
+		if int(cv) == plan.at(v) {
 			s.occupy(v)
 		}
 		res.settle(i, v, steps, res.TotalSteps)
@@ -356,11 +356,11 @@ func CapacityParallel(g graph.Graph, origin int, opt Options, r *rng.Source) (*R
 // CapacityParallel's.
 func CapacityParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source, s *Scratch, res *Result) error {
 	n := g.N()
-	c, err := opt.capacity()
+	plan, err := opt.capacityPlan(n)
 	if err != nil {
 		return err
 	}
-	k, err := opt.numParticlesCap(n, c)
+	k, err := opt.numParticlesCap(n, plan)
 	if err != nil {
 		return err
 	}
@@ -371,7 +371,7 @@ func CapacityParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source,
 		s = NewScratch()
 	}
 	res.reset(k, opt.Record)
-	res.Capacity = c
+	res.Capacity = plan.uniform
 	s.beginRun(n, k)
 	s.counts(n)
 	kern := g.Kernel()
@@ -394,13 +394,24 @@ func CapacityParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source,
 			res.Trajectories[i] = []int32{pos[i]}
 		}
 	}
+	// capAt resolves a vertex's capacity inside the round loops. The
+	// uniform law (the overwhelmingly common one) keeps the historical
+	// compare-against-a-constant hot loop; only vector runs pay the
+	// per-vertex lookup.
+	uniform := plan.caps == nil
+	c := plan.uniform
+
 	// Round 0 settlement: every vertex accepts standing particles up to
 	// its capacity, in priority order. With a common origin, c of them
 	// settle there instantly.
 	s.active = growI32(s.active, k)[:0]
 	active := s.active
 	for _, p := range prio {
-		if cv := s.count(pos[p]); int(cv) < c {
+		at := c
+		if !uniform {
+			at = plan.caps[pos[p]]
+		}
+		if cv := s.count(pos[p]); int(cv) < at {
 			s.setCount(pos[p], cv+1)
 			res.settle(int(p), pos[p], 0, 0)
 		} else {
@@ -422,12 +433,23 @@ func CapacityParallelInto(g graph.Graph, origin int, opt Options, r *rng.Source,
 		// Settlement resolution in priority order: each vertex accepts
 		// arrivals until it reaches capacity.
 		keep := active[:0]
-		for _, p := range active {
-			if cv := s.count(pos[p]); int(cv) < c {
-				s.setCount(pos[p], cv+1)
-				res.settle(int(p), pos[p], res.Steps[p], round)
-			} else {
-				keep = append(keep, p)
+		if uniform {
+			for _, p := range active {
+				if cv := s.count(pos[p]); int(cv) < c {
+					s.setCount(pos[p], cv+1)
+					res.settle(int(p), pos[p], res.Steps[p], round)
+				} else {
+					keep = append(keep, p)
+				}
+			}
+		} else {
+			for _, p := range active {
+				if cv := s.count(pos[p]); int(cv) < plan.caps[pos[p]] {
+					s.setCount(pos[p], cv+1)
+					res.settle(int(p), pos[p], res.Steps[p], round)
+				} else {
+					keep = append(keep, p)
+				}
 			}
 		}
 		active = keep

@@ -41,11 +41,54 @@ func checkCapacity(g *graph.CSR, origin, c, k int) (int, error) {
 	return k, nil
 }
 
-// fullSet returns the bitmask of vertices whose count has reached c.
-func fullSet(counts []byte, c int) uint32 {
+// checkCapacityVec validates a per-vertex capacity vector and resolves
+// the particle count (k = 0 means Sum(caps), filling every vertex).
+func checkCapacityVec(g *graph.CSR, origin int, caps []int, k int) (int, error) {
+	n := g.N()
+	if n > maxExactN {
+		return 0, fmt.Errorf("exact: n = %d exceeds subset-DP limit %d", n, maxExactN)
+	}
+	if origin < 0 || origin >= n {
+		return 0, fmt.Errorf("exact: origin %d out of range", origin)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: graph not connected")
+	}
+	if len(caps) != n {
+		return 0, fmt.Errorf("exact: %d capacities for %d vertices", len(caps), n)
+	}
+	total := 0
+	for v, c := range caps {
+		if c < 1 || c > 255 {
+			return 0, fmt.Errorf("exact: capacity %d at vertex %d (want 1..255, the DP's count encoding)", c, v)
+		}
+		total += c
+	}
+	if k == 0 {
+		k = total
+	}
+	if k < 1 || k > total {
+		return 0, fmt.Errorf("exact: %d particles on capacity vector summing to %d (want 1..%d)", k, total, total)
+	}
+	return k, nil
+}
+
+// uniformCaps expands a scalar capacity into the vector form the DPs run
+// on.
+func uniformCaps(n, c int) []int {
+	caps := make([]int, n)
+	for v := range caps {
+		caps[v] = c
+	}
+	return caps
+}
+
+// fullSetVec returns the bitmask of vertices whose count has reached
+// their capacity.
+func fullSetVec(counts []byte, caps []int) uint32 {
 	var s uint32
 	for v, cnt := range counts {
-		if int(cnt) == c {
+		if int(cnt) == caps[v] {
 			s |= 1 << uint(v)
 		}
 	}
@@ -54,11 +97,22 @@ func fullSet(counts []byte, c int) uint32 {
 
 // CapacityExpectedTotalSteps returns the exact E[total steps] of the
 // capacity-c Sequential process dispersing k particles from origin (k = 0
-// means c·n, filling every vertex): a forward DP over occupancy multisets
+// means c·n, filling every vertex).
+func CapacityExpectedTotalSteps(g *graph.CSR, origin, c, k int) (float64, error) {
+	if _, err := checkCapacity(g, origin, c, k); err != nil {
+		return 0, err
+	}
+	return CapacityVecExpectedTotalSteps(g, origin, uniformCaps(g.N(), c), k)
+}
+
+// CapacityVecExpectedTotalSteps returns the exact E[total steps] of the
+// Sequential capacity process under a per-vertex capacity vector — vertex
+// v hosts up to caps[v] settled particles — dispersing k particles from
+// origin (k = 0 means Sum(caps)): a forward DP over occupancy multisets
 // whose transitions reuse the rule-aware settlement law with the full set
 // as the occupied set.
-func CapacityExpectedTotalSteps(g *graph.CSR, origin, c, k int) (float64, error) {
-	k, err := checkCapacity(g, origin, c, k)
+func CapacityVecExpectedTotalSteps(g *graph.CSR, origin int, caps []int, k int) (float64, error) {
+	k, err := checkCapacityVec(g, origin, caps, k)
 	if err != nil {
 		return 0, err
 	}
@@ -73,7 +127,7 @@ func CapacityExpectedTotalSteps(g *graph.CSR, origin, c, k int) (float64, error)
 		next := make(map[string]float64, len(cur)*2)
 		for st, p := range cur {
 			counts := []byte(st)
-			measure, mean, err := laws.law(origin, fullSet(counts, c))
+			measure, mean, err := laws.law(origin, fullSetVec(counts, caps))
 			if err != nil {
 				return 0, err
 			}
@@ -96,7 +150,18 @@ func CapacityExpectedTotalSteps(g *graph.CSR, origin, c, k int) (float64, error)
 // dispersion time for k particles from origin (k = 0 means c·n):
 // cdf[t] = P(max per-particle steps <= t) for t = 0..T.
 func CapacityDispersionCDF(g *graph.CSR, origin, c, k, T int) ([]float64, error) {
-	k, err := checkCapacity(g, origin, c, k)
+	if _, err := checkCapacity(g, origin, c, k); err != nil {
+		return nil, err
+	}
+	return CapacityVecDispersionCDF(g, origin, uniformCaps(g.N(), c), k, T)
+}
+
+// CapacityVecDispersionCDF returns the exact dispersion-time CDF of the
+// Sequential capacity process under a per-vertex capacity vector for k
+// particles from origin (k = 0 means Sum(caps)): cdf[t] = P(max
+// per-particle steps <= t) for t = 0..T.
+func CapacityVecDispersionCDF(g *graph.CSR, origin int, caps []int, k, T int) ([]float64, error) {
+	k, err := checkCapacityVec(g, origin, caps, k)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +186,7 @@ func CapacityDispersionCDF(g *graph.CSR, origin, c, k, T int) ([]float64, error)
 		nextF := make(map[string][]float64, len(f)*2)
 		for st, fs := range f {
 			counts := []byte(st)
-			settle, err := settleFor(fullSet(counts, c))
+			settle, err := settleFor(fullSetVec(counts, caps))
 			if err != nil {
 				return nil, err
 			}
@@ -156,6 +221,21 @@ func CapacityDispersionCDF(g *graph.CSR, origin, c, k, T int) ([]float64, error)
 // plus the residual tail mass P(τ > T).
 func CapacityExpectedDispersion(g *graph.CSR, origin, c, k, T int) (mean, tailMass float64, err error) {
 	cdf, err := CapacityDispersionCDF(g, origin, c, k, T)
+	if err != nil {
+		return 0, 0, err
+	}
+	for t := 0; t < T; t++ {
+		mean += 1 - cdf[t]
+	}
+	return mean, 1 - cdf[T], nil
+}
+
+// CapacityVecExpectedDispersion returns the exact E[dispersion] of the
+// Sequential capacity process under a per-vertex capacity vector up to
+// the truncation error of horizon T, plus the residual tail mass
+// P(τ > T).
+func CapacityVecExpectedDispersion(g *graph.CSR, origin int, caps []int, k, T int) (mean, tailMass float64, err error) {
+	cdf, err := CapacityVecDispersionCDF(g, origin, caps, k, T)
 	if err != nil {
 		return 0, 0, err
 	}

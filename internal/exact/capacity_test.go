@@ -107,6 +107,93 @@ func TestCapacityCDFShape(t *testing.T) {
 	}
 }
 
+// A uniform capacity vector must reproduce the scalar-capacity DP
+// exactly, for both the total-steps mean and the dispersion CDF.
+func TestCapacityVecUniformMatchesScalar(t *testing.T) {
+	for _, g := range []*graph.CSR{graph.Complete(4), graph.Star(4), graph.Cycle(5)} {
+		for _, c := range []int{1, 2, 3} {
+			caps := uniformCaps(g.N(), c)
+			want, err := CapacityExpectedTotalSteps(g, 0, c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CapacityVecExpectedTotalSteps(g, 0, caps, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s c=%d: vector total steps %.9f, scalar %.9f", g.Name(), c, got, want)
+			}
+		}
+	}
+}
+
+// On K_2 with capacities {a, b} from origin 0 the process has a closed
+// form: the first a particles settle at the origin for free, and each of
+// the b later particles walks exactly one step. E[total] = b.
+func TestCapacityVecClosedFormK2(t *testing.T) {
+	g := graph.Complete(2)
+	for _, caps := range [][]int{{1, 3}, {2, 1}, {4, 4}} {
+		got, err := CapacityVecExpectedTotalSteps(g, 0, caps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(caps[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("caps=%v: total steps %.9f, want %.9f", caps, got, want)
+		}
+	}
+}
+
+// Raising one vertex's capacity adds settlement slots without removing
+// any, so the expected total steps of a full fill can only grow; the
+// vector CDF must stay a genuine CDF with no tail at a generous horizon.
+func TestCapacityVecShape(t *testing.T) {
+	g := graph.Star(4)
+	base := []int{1, 1, 1, 1}
+	prev, err := CapacityVecExpectedTotalSteps(g, 0, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, caps := range [][]int{{2, 1, 1, 1}, {2, 2, 1, 1}, {2, 2, 2, 1}, {2, 2, 2, 2}} {
+		got, err := CapacityVecExpectedTotalSteps(g, 0, caps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Errorf("caps=%v: total steps %.9f below previous %.9f", caps, got, prev)
+		}
+		prev = got
+	}
+
+	const T = 400
+	cdf, err := CapacityVecDispersionCDF(g, 0, []int{2, 1, 3, 1}, 0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 1; t2 <= T; t2++ {
+		if cdf[t2] < cdf[t2-1]-1e-12 {
+			t.Fatalf("cdf decreases at %d: %.12f -> %.12f", t2, cdf[t2-1], cdf[t2])
+		}
+	}
+	if tail := 1 - cdf[T]; tail > 1e-9 {
+		t.Fatalf("horizon %d leaves tail mass %g", T, tail)
+	}
+}
+
+// Bad vector parameters are rejected.
+func TestCapacityVecErrors(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := CapacityVecExpectedTotalSteps(g, 0, []int{1, 1}, 0); err == nil {
+		t.Error("short capacity vector accepted")
+	}
+	if _, err := CapacityVecExpectedTotalSteps(g, 0, []int{1, 0, 1}, 0); err == nil {
+		t.Error("zero capacity entry accepted")
+	}
+	if _, err := CapacityVecExpectedTotalSteps(g, 0, []int{1, 2, 1}, 5); err == nil {
+		t.Error("k > Sum(caps) accepted")
+	}
+}
+
 // Bad parameters are rejected.
 func TestCapacityErrors(t *testing.T) {
 	g := graph.Complete(3)

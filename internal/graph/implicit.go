@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"dispersion/internal/rng"
@@ -260,6 +261,9 @@ func Materialize(g Graph) (*CSR, error) {
 	if c, ok := g.(*CSR); ok {
 		return c, nil
 	}
+	if w, ok := g.(*WeightedCSR); ok {
+		return w.CSR(), nil
+	}
 	cf, ok := g.Kernel().(closedForm)
 	if !ok {
 		return nil, fmt.Errorf("graph: cannot materialize %s: kernel %q has no closed form", g.Name(), g.Kernel().Kind())
@@ -346,6 +350,26 @@ func (k torusKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint
 	return v, steps
 }
 
+// StepLane advances the listed lane slots one torus move each, rebuilding
+// the stack candidate buffer per slot exactly as Step does per step.
+func (k torusKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	un := uint64(k.deg)
+	thresh := -un % un
+	var buf [2 * maxTorusDims]int32
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		k.neighbors(pos[j], buf[:])
+		pos[j] = buf[hi]
+	}
+}
+
 func (k torusKernel) nth(v, i int32) int32 {
 	var buf [2 * maxTorusDims]int32
 	k.neighbors(v, buf[:])
@@ -415,6 +439,30 @@ func (k circulantKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch 
 	return v, steps
 }
 
+// StepLane advances the listed lane slots one circulant move each;
+// degree-one circulants move without a draw, exactly as Step does.
+func (k circulantKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	un := uint64(k.deg)
+	thresh := -un % un
+	var buf [2 * maxCirculantOffsets]int32
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		k.neighbors(pos[j], buf[:])
+		if k.deg == 1 {
+			pos[j] = buf[0]
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		pos[j] = buf[hi]
+	}
+}
+
 func (k circulantKernel) nth(v, i int32) int32 {
 	var buf [2 * maxCirculantOffsets]int32
 	k.neighbors(v, buf[:])
@@ -479,6 +527,25 @@ func (k rregKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8
 		}
 	}
 	return v, steps
+}
+
+// StepLane advances the listed lane slots one cycle-union move each.
+func (k rregKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	un := uint64(k.deg)
+	thresh := -un % un
+	var buf [maxRRegularDegree]int32
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		k.neighbors(pos[j], buf[:])
+		pos[j] = buf[hi]
+	}
 }
 
 func (k rregKernel) nth(v, i int32) int32 {

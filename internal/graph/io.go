@@ -60,6 +60,66 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 	return b.Build()
 }
 
+// WriteEdgeList serialises the weighted graph as a plain-text edge list:
+// a header line "wn <vertices> <name>" followed by one "u v w" line per
+// edge (u < v). The format round-trips through ReadWeightedEdgeList.
+func (g *WeightedCSR) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "wn %d %s\n", g.N(), g.csr.name); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		off := g.csr.offsets[u]
+		for i, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, g.w[off+int32(i)]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedEdgeList parses the format written by
+// (*WeightedCSR).WriteEdgeList.
+func ReadWeightedEdgeList(r io.Reader) (*WeightedCSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	var n int
+	var name string
+	header := sc.Text()
+	if _, err := fmt.Sscanf(header, "wn %d %s", &n, &name); err != nil {
+		// The name may be absent.
+		if _, err2 := fmt.Sscanf(header, "wn %d", &n); err2 != nil {
+			return nil, fmt.Errorf("graph: bad weighted header %q", header)
+		}
+		name = "loaded"
+	}
+	b := NewWeightedBuilder(name, n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var u, v int
+		var wt float64
+		if _, err := fmt.Sscanf(text, "%d %d %g", &u, &v, &wt); err != nil {
+			return nil, fmt.Errorf("graph: bad weighted edge at line %d: %q", line, text)
+		}
+		b.AddEdge(u, v, wt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
 // WriteDOT serialises the graph in Graphviz DOT format, optionally
 // highlighting a set of vertices (e.g. an IDLA aggregate snapshot).
 func (g *CSR) WriteDOT(w io.Writer, highlight map[int]bool) error {

@@ -35,9 +35,21 @@ type Kernel interface {
 	// loop of the repository; the draws consumed are exactly those of the
 	// equivalent Step loop.
 	WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64)
+	// StepLane advances every slot listed in idx by one walk move of the
+	// batched lane: for each j in idx, a lazy stay-coin is drawn first
+	// from slot j's stream when lazy is set (low bit 1 stays — Bool's
+	// law), then a uniformly random neighbour of pos[j] is drawn from the
+	// same slot stream and written back to pos[j]. Vertices of degree one
+	// move without consuming randomness and a stay consumes only its
+	// coin, mirroring Step's scalar draw law slot by slot. Occupancy is
+	// the lane scheduler's concern: StepLane unconditionally moves every
+	// listed slot, and one call per superstep is what amortizes the
+	// kernel dispatch across the whole lane.
+	StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource)
 	// Kind names the kernel family for introspection and tests: one of
-	// "complete", "cycle", "path", "hypercube", "regular", "csr", or —
-	// for the implicit backends — "torus", "circulant", "rregular".
+	// "complete", "cycle", "path", "hypercube", "regular", "csr",
+	// "walias" for weighted alias kernels, or — for the implicit
+	// backends — "torus", "circulant", "rregular".
 	Kind() string
 }
 
@@ -161,6 +173,40 @@ func (k csrKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8,
 	return v, steps
 }
 
+// StepLane advances the listed lane slots one gather-loop move each.
+//
+// Every kernel's StepLane hand-inlines the bounded-draw law of
+// rng.LaneSource.Intn (Lemire multiply-shift rejection on the slot
+// stream) instead of calling it: the call would not inline, and the whole
+// point of the lane is that the per-slot draw+arithmetic stays branch-thin
+// and register-resident so the CPU overlaps the independent slots. The
+// closed-form kernels additionally hoist the rejection threshold out of
+// the loop, removing the division the scalar path pays per draw.
+func (k csrKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	offsets, adj := k.g.offsets, k.g.adj
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		v := pos[j]
+		ns := adj[offsets[v]:offsets[v+1]]
+		if len(ns) == 1 {
+			pos[j] = ns[0]
+			continue
+		}
+		un := uint64(len(ns))
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		if lo < un {
+			thresh := -un % un
+			for lo < thresh {
+				hi, lo = bits.Mul64(lane.Uint64(sj), un)
+			}
+		}
+		pos[j] = ns[hi]
+	}
+}
+
 // regularKernel serves fixed-degree regular graphs: row v starts at v*deg,
 // so a step needs one adjacency load and no offsets lookup at all.
 type regularKernel struct {
@@ -194,6 +240,32 @@ func (k regularKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch ui
 	return v, steps
 }
 
+// StepLane advances the listed lane slots one dense-row move each.
+func (k regularKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	if k.deg == 1 {
+		for _, j := range idx {
+			if lazy && lane.Uint64(int(j))&1 == 1 {
+				continue
+			}
+			pos[j] = k.adj[pos[j]]
+		}
+		return
+	}
+	un := uint64(k.deg)
+	thresh := -un % un
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		pos[j] = k.adj[pos[j]*k.deg+int32(hi)]
+	}
+}
+
 // completeKernel is the closed-form kernel for K_n: the i-th sorted
 // neighbour of v is i when i < v and i+1 otherwise, so a step is a draw
 // and a compare — no memory touched.
@@ -223,6 +295,36 @@ func (k completeKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch u
 		}
 	}
 	return v, steps
+}
+
+// StepLane advances the listed lane slots one draw-and-compare move each.
+func (k completeKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	if k.n == 2 {
+		for _, j := range idx {
+			if lazy && lane.Uint64(int(j))&1 == 1 {
+				continue
+			}
+			pos[j] = 1 - pos[j]
+		}
+		return
+	}
+	un := uint64(k.n - 1)
+	thresh := -un % un
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		i := int32(hi)
+		if i >= pos[j] {
+			i++
+		}
+		pos[j] = i
+	}
 }
 
 func (k completeKernel) nth(v, i int32) int32 {
@@ -259,6 +361,20 @@ func (k cycleKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint
 		}
 	}
 	return v, steps
+}
+
+// StepLane advances the listed lane slots one ±1 (mod n) move each. A
+// two-way draw never rejects (2^64 is divisible by 2), so the drawn index
+// is simply the top multiply word.
+func (k cycleKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, _ := bits.Mul64(lane.Uint64(sj), 2)
+		pos[j] = k.nth(pos[j], int32(hi))
+	}
 }
 
 func (k cycleKernel) nth(v, i int32) int32 {
@@ -314,6 +430,26 @@ func (k pathKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8
 	return v, steps
 }
 
+// StepLane advances the listed lane slots one path move each; endpoints
+// move without a draw, exactly as Step does.
+func (k pathKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		switch v := pos[j]; v {
+		case 0:
+			pos[j] = 1
+		case k.n - 1:
+			pos[j] = k.n - 2
+		default:
+			hi, _ := bits.Mul64(lane.Uint64(sj), 2)
+			pos[j] = v - 1 + 2*int32(hi)
+		}
+	}
+}
+
 func (k pathKernel) nth(v, i int32) int32 {
 	switch v {
 	case 0:
@@ -363,6 +499,32 @@ func (k hypercubeKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch 
 		}
 	}
 	return v, steps
+}
+
+// StepLane advances the listed lane slots one bit-flip move each.
+func (k hypercubeKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	if k.k == 1 {
+		for _, j := range idx {
+			if lazy && lane.Uint64(int(j))&1 == 1 {
+				continue
+			}
+			pos[j] ^= 1
+		}
+		return
+	}
+	un := uint64(k.k)
+	thresh := -un % un
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(lane.Uint64(sj), un)
+		}
+		pos[j] = k.nth(pos[j], int32(hi))
+	}
 }
 
 func (k hypercubeKernel) nth(v, i int32) int32 {

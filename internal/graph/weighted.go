@@ -1,0 +1,319 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"dispersion/internal/rng"
+)
+
+// WeightedCSR is an undirected graph with positive edge weights, walked
+// under the weighted random-walk law P(u→v) ∝ w({u,v}). The structure is
+// a plain CSR (sorted rows, simple graph); on top of it, Build constructs
+// one Walker alias table per vertex, so a weighted neighbour draw costs
+// O(1) — one bounded index draw plus one acceptance coin — regardless of
+// degree, in both the scalar and the batched lane kernels.
+//
+// Alias-table layout: slot i of vertex v's adjacency row carries an
+// acceptance probability prob[i] and an alternative vertex alt[i]; a draw
+// picks a uniform slot i and takes the slot's own neighbour with
+// probability prob[i], its alias otherwise. The tables are built by
+// Vose's O(d) method at Build time and are exact up to float rounding.
+//
+// WeightedCSR implements Graph and EdgeChecker, so every registered
+// dispersion process runs on weighted backends unchanged.
+type WeightedCSR struct {
+	csr    *CSR
+	w      []float64 // edge weight per adjacency slot, aligned with csr.adj
+	prob   []float64 // alias acceptance probability per adjacency slot
+	alt    []int32   // alias alternative vertex per adjacency slot
+	kernel Kernel
+}
+
+var (
+	_ Graph       = (*WeightedCSR)(nil)
+	_ EdgeChecker = (*WeightedCSR)(nil)
+)
+
+// N returns the number of vertices.
+func (g *WeightedCSR) N() int { return g.csr.N() }
+
+// M returns the number of undirected edges.
+func (g *WeightedCSR) M() int { return g.csr.M() }
+
+// Name returns the human-readable family label.
+func (g *WeightedCSR) Name() string { return g.csr.Name() }
+
+// Degree returns the degree of vertex v.
+func (g *WeightedCSR) Degree(v int) int { return g.csr.Degree(v) }
+
+// Kernel returns the weighted alias step kernel selected at Build time.
+func (g *WeightedCSR) Kernel() Kernel { return g.kernel }
+
+// IsConnected reports whether the graph is connected (weights never
+// disconnect: they are strictly positive).
+func (g *WeightedCSR) IsConnected() bool { return g.csr.IsConnected() }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *WeightedCSR) HasEdge(u, v int) bool { return g.csr.HasEdge(u, v) }
+
+// CSR returns the structural (unweighted) twin sharing this graph's
+// vertex set and edges: what the spectral and exact analytics operate on
+// when they ignore weights, and what Materialize returns for weighted
+// backends.
+func (g *WeightedCSR) CSR() *CSR { return g.csr }
+
+// Neighbors returns the sorted neighbour list of v, aliasing internal
+// storage.
+func (g *WeightedCSR) Neighbors(v int) []int32 { return g.csr.Neighbors(v) }
+
+// Weights returns the edge weights of v's neighbour list, aligned with
+// Neighbors(v) and aliasing internal storage.
+func (g *WeightedCSR) Weights(v int) []float64 {
+	return g.w[g.csr.offsets[v]:g.csr.offsets[v+1]]
+}
+
+// WeightedBuilder accumulates weighted edges and produces an immutable
+// WeightedCSR. Structural validity (range, self-loops, duplicates) is
+// checked exactly as Builder does; weights must additionally be positive
+// and finite.
+type WeightedBuilder struct {
+	n     int
+	name  string
+	edges []weightedEdge
+}
+
+type weightedEdge struct {
+	u, v int32
+	w    float64
+}
+
+// NewWeightedBuilder returns a WeightedBuilder for a graph with n
+// vertices.
+func NewWeightedBuilder(name string, n int) *WeightedBuilder {
+	return &WeightedBuilder{n: n, name: name}
+}
+
+// AddEdge records the undirected edge {u, v} with weight w. Endpoint
+// order is irrelevant; validity is checked at Build time.
+func (b *WeightedBuilder) AddEdge(u, v int, w float64) {
+	b.edges = append(b.edges, weightedEdge{u: int32(u), v: int32(v), w: w})
+}
+
+// Build validates the accumulated weighted edges, constructs the CSR
+// structure, aligns the weights with the sorted rows, and builds the
+// per-vertex Walker alias tables.
+func (b *WeightedBuilder) Build() (*WeightedCSR, error) {
+	sb := NewBuilder(b.name, b.n)
+	for _, e := range b.edges {
+		if !(e.w > 0) || math.IsInf(e.w, 1) {
+			return nil, fmt.Errorf("graph: edge {%d,%d} weight %v (want positive and finite)", e.u, e.v, e.w)
+		}
+		sb.AddEdge(int(e.u), int(e.v))
+	}
+	csr, err := sb.Build()
+	if err != nil {
+		return nil, err
+	}
+	g := &WeightedCSR{
+		csr:  csr,
+		w:    make([]float64, len(csr.adj)),
+		prob: make([]float64, len(csr.adj)),
+		alt:  make([]int32, len(csr.adj)),
+	}
+	// Align each edge's weight with both sorted adjacency rows.
+	for _, e := range b.edges {
+		g.setWeight(e.u, e.v, e.w)
+		g.setWeight(e.v, e.u, e.w)
+	}
+	for v := 0; v < b.n; v++ {
+		g.buildAlias(v)
+	}
+	g.kernel = weightedKernel{g: g}
+	return g, nil
+}
+
+// setWeight stores w in u's row slot for neighbour v (the row is sorted,
+// so the slot is found by binary search).
+func (g *WeightedCSR) setWeight(u, v int32, w float64) {
+	off := g.csr.offsets[u]
+	ns := g.csr.adj[off:g.csr.offsets[u+1]]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	g.w[off+int32(i)] = w
+}
+
+// buildAlias constructs vertex v's Walker alias table by Vose's method:
+// scale the row's weights to mean 1, then pair each deficit slot with a
+// surplus slot so every slot resolves a draw with at most one comparison.
+func (g *WeightedCSR) buildAlias(v int) {
+	off := int(g.csr.offsets[v])
+	end := int(g.csr.offsets[v+1])
+	d := end - off
+	if d == 0 {
+		return
+	}
+	var sum float64
+	for _, w := range g.w[off:end] {
+		sum += w
+	}
+	scaled := make([]float64, d)
+	small := make([]int32, 0, d)
+	large := make([]int32, 0, d)
+	for i := 0; i < d; i++ {
+		scaled[i] = g.w[off+i] * float64(d) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		g.prob[off+int(s)] = scaled[s]
+		g.alt[off+int(s)] = g.csr.adj[off+int(l)]
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding; their alias is never taken.
+	for _, i := range large {
+		g.prob[off+int(i)] = 1
+		g.alt[off+int(i)] = g.csr.adj[off+int(i)]
+	}
+	for _, i := range small {
+		g.prob[off+int(i)] = 1
+		g.alt[off+int(i)] = g.csr.adj[off+int(i)]
+	}
+}
+
+// weightedKernel is the Walker alias step kernel: a weighted neighbour
+// draw is one bounded slot draw plus one acceptance coin, so a step
+// consumes exactly two variates at degree >= 2 (none at degree one, like
+// every kernel).
+type weightedKernel struct{ g *WeightedCSR }
+
+// Kind returns "walias".
+func (weightedKernel) Kind() string { return "walias" }
+
+// Step returns a w-weighted random neighbour of v.
+func (k weightedKernel) Step(v int32, r *rng.Source) int32 {
+	g := k.g
+	off := g.csr.offsets[v]
+	d := g.csr.offsets[v+1] - off
+	if d == 1 {
+		return g.csr.adj[off]
+	}
+	i := off + r.Int31n(d)
+	if r.Float64() < g.prob[i] {
+		return g.csr.adj[i]
+	}
+	return g.alt[i]
+}
+
+// WalkUntilVacant walks v to the first vacant vertex (or the budget)
+// under the weighted walk law.
+func (k weightedKernel) WalkUntilVacant(v int32, lazy bool, occ []uint8, epoch uint8, budget int64, r *rng.Source) (int32, int64) {
+	var steps int64
+	for occ[v] == epoch {
+		if !lazy || !r.Bool() {
+			v = k.Step(v, r)
+		}
+		steps++
+		if steps >= budget {
+			break
+		}
+	}
+	return v, steps
+}
+
+// StepLane advances the listed lane slots one weighted alias move each,
+// with the same slot draw + acceptance coin law as Step on the lane
+// streams.
+func (k weightedKernel) StepLane(pos []int32, idx []int32, lazy bool, lane *rng.LaneSource) {
+	g := k.g
+	offsets, adj := g.csr.offsets, g.csr.adj
+	for _, j := range idx {
+		sj := int(j)
+		if lazy && lane.Uint64(sj)&1 == 1 {
+			continue
+		}
+		v := pos[j]
+		off := offsets[v]
+		d := offsets[v+1] - off
+		if d == 1 {
+			pos[j] = adj[off]
+			continue
+		}
+		un := uint64(d)
+		hi, lo := bits.Mul64(lane.Uint64(sj), un)
+		if lo < un {
+			thresh := -un % un
+			for lo < thresh {
+				hi, lo = bits.Mul64(lane.Uint64(sj), un)
+			}
+		}
+		i := off + int32(hi)
+		// Load both outcomes unconditionally and select: the three table
+		// reads (prob, adj, alt) issue in parallel with no data-dependent
+		// branch between them, so misses from different lane slots overlap
+		// — on multi-MB alias tables this memory-level parallelism is the
+		// lane's whole advantage over the scalar walk's serial miss chain.
+		accept, alt := adj[i], g.alt[i]
+		to := alt
+		if float64(lane.Uint64(sj)>>11)*0x1p-53 < g.prob[i] {
+			to = accept
+		}
+		pos[j] = to
+	}
+}
+
+// WeightedComplete returns K_n with edge weight ((u+1)(v+1))^alpha — the
+// degree-biased family: the walk leaves any vertex toward v with
+// probability proportional to (v+1)^alpha, so alpha > 0 drags particles
+// toward high labels, alpha < 0 toward low ones, and alpha = 0 recovers
+// the uniform walk on K_n. n >= 2; alpha must be finite.
+func WeightedComplete(n int, alpha float64) (*WeightedCSR, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: weighted complete requires n >= 2, got %d", n)
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("graph: weighted complete alpha %v (want finite)", alpha)
+	}
+	b := NewWeightedBuilder(fmt.Sprintf("wcomplete-%d-a%g", n, alpha), n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, math.Pow(float64(u+1)*float64(v+1), alpha))
+		}
+	}
+	return b.Build()
+}
+
+// WeightedCycle returns C_n with alternating edge weights: edge
+// {v, v+1 mod n} has weight bias when v is odd and 1 when v is even, so
+// the walk is pulled across the heavy edges. bias = 1 recovers the
+// uniform cycle walk. n >= 3; bias must be positive and finite.
+func WeightedCycle(n int, bias float64) (*WeightedCSR, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: weighted cycle requires n >= 3, got %d", n)
+	}
+	if !(bias > 0) || math.IsInf(bias, 1) {
+		return nil, fmt.Errorf("graph: weighted cycle bias %v (want positive and finite)", bias)
+	}
+	b := NewWeightedBuilder(fmt.Sprintf("wcycle-%d-b%g", n, bias), n)
+	for v := 0; v < n; v++ {
+		w := 1.0
+		if v%2 == 1 {
+			w = bias
+		}
+		b.AddEdge(v, (v+1)%n, w)
+	}
+	return b.Build()
+}

@@ -6,6 +6,21 @@
 // arbitrary identifiers, which lets parallel Monte-Carlo trials be fully
 // reproducible: trial i of experiment e always derives its stream from
 // (seed, e, i) regardless of scheduling.
+//
+// # Lane seed law
+//
+// The batched execution lane draws from LaneSource, a bank of splitmix64
+// counter-mode streams (one per lane slot) rather than from xoshiro
+// sources. Slot j hosting trial i is seeded with SplitSeed(e, i) — the
+// exact 64-bit value SplitInto would expand into trial i's scalar xoshiro
+// state — so scalar and batched flavors of a run share one derivation
+// lineage rooted at (seed, experiment, trial). A batched trial's draw
+// sequence is a pure function of those three coordinates: independent of
+// the lane width, the worker count, and how trials are blocked, which
+// makes batched runs bit-identical to each other across all those
+// settings. Against the scalar flavor the batched stream is a different
+// generator entirely, so batched results are distribution-identical, not
+// bit-identical; the scalar stream itself is untouched.
 package rng
 
 import "math/bits"
@@ -66,12 +81,23 @@ func (r *Source) Split(ids ...uint64) *Source {
 // overwritten; the derivation is identical to Split's, so the two are
 // interchangeable stream for stream.
 func (r *Source) SplitInto(dst *Source, ids ...uint64) {
+	dst.Seed(r.SplitSeed(ids...))
+}
+
+// SplitSeed returns the 64-bit seed of the derived stream for the given
+// identifiers: SplitInto(dst, ids...) is exactly dst.Seed(r.SplitSeed(ids...)).
+// Exposing the seed itself lets a different generator join the same
+// derivation lineage — the batched LaneSource seeds slot streams with
+// SplitSeed(experiment, trial), pinning them to the identical
+// (seed, experiment, trial) coordinates as the scalar xoshiro streams
+// without being those streams (see the package-level lane seed law).
+func (r *Source) SplitSeed(ids ...uint64) uint64 {
 	st := r.s0 ^ bits.RotateLeft64(r.s2, 17)
 	for _, id := range ids {
 		st ^= splitmix64(&id)
 		_ = splitmix64(&st)
 	}
-	dst.Seed(splitmix64(&st))
+	return splitmix64(&st)
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
@@ -85,6 +111,27 @@ func (r *Source) Uint64() uint64 {
 	r.s2 ^= t
 	r.s3 = bits.RotateLeft64(r.s3, 45)
 	return result
+}
+
+// FillUint64 fills dst with the next len(dst) outputs of the stream,
+// advancing the source exactly as len(dst) Uint64 calls would — the fill
+// is draw-for-draw identical to the scalar loop (a property test pins
+// this). The four state words stay in registers for the whole batch
+// instead of round-tripping through the receiver once per draw, which is
+// what makes bulk generation for the batched lane cheaper than the loop.
+func (r *Source) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // Int63 returns a non-negative pseudo-random 63-bit integer.

@@ -40,6 +40,16 @@ func (rn *Runner) SetWorkers(w int) {
 // Workers returns the configured degree of parallelism.
 func (rn *Runner) Workers() int { return rn.workers }
 
+// TrialSeed returns the seed of trial i's split stream — the same
+// (experimentID, i) derivation SplitInto reseeds workers with. The
+// engine's batched path seeds lane slots with it, tying every batched
+// trial to the same (seed, experiment, trial) lineage as its scalar
+// counterpart. It only reads the root source, so concurrent calls are
+// safe alongside the worker reseeds.
+func (rn *Runner) TrialSeed(i int) uint64 {
+	return rn.root.SplitSeed(rn.experimentID, uint64(i))
+}
+
 // streamed carries one trial outcome from a worker to the collector.
 type streamed[T any] struct {
 	trial int

@@ -74,6 +74,40 @@ func WithCapacity(c int) Option {
 	return func(cfg *config) { cfg.core.Capacity = c }
 }
 
+// WithCapacities gives every vertex of the capacity processes its own
+// capacity: vertex v hosts up to caps[v] settled particles. The vector
+// must have one entry per vertex, each at least 1, and is mutually
+// exclusive with WithCapacity. By default a run disperses Sum(caps)
+// particles (filling every vertex to its capacity); combine with
+// WithParticles for partial loads. Result.Capacity reports the vector's
+// maximum. The slice is retained, not copied; callers must not mutate it
+// while the run is in flight.
+func WithCapacities(caps []int) Option {
+	return func(cfg *config) { cfg.core.Capacities = caps }
+}
+
+// WithBatch routes the run through the batched execution mode: b trials
+// advance together per worker through one structure-of-arrays lane,
+// stepped by the graph kernel's fused batched loops. The lane replaces
+// the walk's serial load dependency chain with b independent ones, so
+// cache misses from different trials overlap — worth 2× and more
+// trials/sec where walks are memory-bound (the weighted alias families,
+// large adjacency tables), and worth nothing on small cache-resident
+// graphs whose scalar loop is already compute-bound.
+//
+// Determinism contract: a batched trial draws from a counter-mode stream
+// seeded by the same (seed, experiment, trial) lineage as the scalar
+// path, so batched results are bit-identical for every batch width,
+// worker count and trial sharding — but distribution-identical (not
+// bit-identical) to the scalar path, whose xoshiro streams they replace.
+// Only the Sequential-family processes ("sequential", "sequential-geom",
+// "sequential-threshold", "capacity" and their lazy variants) have a
+// batched form; WithRecord and WithSettleRule stay scalar-only. Zero
+// selects the scalar path.
+func WithBatch(b int) Option {
+	return func(c *config) { c.core.Batch = b }
+}
+
 // WithMaxSteps aborts a run whose total step count exceeds n, marking the
 // Result as Truncated; zero means no bound. Guards against misconfigured
 // experiments.

@@ -97,6 +97,9 @@ type coreProcess struct {
 	continuous bool
 	forced     []Option
 	runInto    func(g Graph, origin int, opt core.Options, r *Source, s *core.Scratch, ct *core.CTResult) error
+	// lane names the process's batched settlement law; LaneNone (the zero
+	// value) marks a process WithBatch cannot accelerate.
+	lane core.LaneVariant
 }
 
 func (p *coreProcess) Name() string     { return p.name }
@@ -104,6 +107,21 @@ func (p *coreProcess) Continuous() bool { return p.continuous }
 
 func (p *coreProcess) Run(g Graph, origin int, r *Source, opts ...Option) (*Result, error) {
 	opt := buildOptions(append(append([]Option(nil), p.forced...), opts...))
+	if opt.Batch != 0 {
+		// One-shot batched run: a width-1 lane whose slot stream is
+		// seeded by one draw from r — deterministic given r's state, and
+		// the same code path the engine batches.
+		if p.lane == core.LaneNone {
+			return nil, fmt.Errorf("dispersion: process %q has no batched form (WithBatch covers the Sequential-family processes)", p.name)
+		}
+		var cr core.Result
+		if err := core.RunLane(g, origin, opt, p.lane, []uint64{r.Uint64()}, nil, []*core.Result{&cr}); err != nil {
+			return nil, err
+		}
+		res := new(Result)
+		res.setCoreResult(&cr, p.name)
+		return res, nil
+	}
 	var ct core.CTResult
 	if err := p.runInto(g, origin, opt, r, nil, &ct); err != nil {
 		return nil, err
@@ -128,25 +146,27 @@ func init() {
 		aliases    []string
 		continuous bool
 		runInto    func(Graph, int, core.Options, *Source, *core.Scratch, *core.CTResult) error
+		lane       core.LaneVariant
 	}{
-		{"sequential", []string{"seq"}, false, discreteInto(core.SequentialInto)},
-		{"parallel", []string{"par"}, false, discreteInto(core.ParallelInto)},
-		{"uniform", []string{"unif"}, false, discreteInto(core.UniformInto)},
-		{"ct-uniform", []string{"ctu"}, true, core.CTUniformInto},
-		{"ct-sequential", []string{"ctseq"}, true, core.CTSequentialInto},
+		{"sequential", []string{"seq"}, false, discreteInto(core.SequentialInto), core.LaneStandard},
+		{"parallel", []string{"par"}, false, discreteInto(core.ParallelInto), core.LaneNone},
+		{"uniform", []string{"unif"}, false, discreteInto(core.UniformInto), core.LaneNone},
+		{"ct-uniform", []string{"ctu"}, true, core.CTUniformInto, core.LaneNone},
+		{"ct-sequential", []string{"ctseq"}, true, core.CTSequentialInto, core.LaneNone},
 		// The Proposition A.1 modified settle rules, parameterized by
 		// WithSettleParam, and the capacity-c (k-particles-per-vertex)
 		// load-balancing generalization, parameterized by WithCapacity.
-		{"sequential-geom", []string{"geom"}, false, discreteInto(core.SequentialGeomInto)},
-		{"sequential-threshold", []string{"thresh"}, false, discreteInto(core.SequentialThresholdInto)},
-		{"capacity", []string{"cap"}, false, discreteInto(core.CapacitySequentialInto)},
-		{"capacity-parallel", []string{"cap-par"}, false, discreteInto(core.CapacityParallelInto)},
+		{"sequential-geom", []string{"geom"}, false, discreteInto(core.SequentialGeomInto), core.LaneGeom},
+		{"sequential-threshold", []string{"thresh"}, false, discreteInto(core.SequentialThresholdInto), core.LaneThreshold},
+		{"capacity", []string{"cap"}, false, discreteInto(core.CapacitySequentialInto), core.LaneCapacity},
+		{"capacity-parallel", []string{"cap-par"}, false, discreteInto(core.CapacityParallelInto), core.LaneNone},
 	}
 	for _, v := range variants {
 		Register(&coreProcess{
 			name:       v.name,
 			continuous: v.continuous,
 			runInto:    v.runInto,
+			lane:       v.lane,
 		}, v.aliases...)
 		// The lazy variants of Theorem 4.3: the same process with the
 		// laziness option forced on.
@@ -159,6 +179,7 @@ func init() {
 			continuous: v.continuous,
 			forced:     []Option{WithLazy()},
 			runInto:    v.runInto,
+			lane:       v.lane,
 		}, lazyAliases...)
 	}
 }

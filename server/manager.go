@@ -83,6 +83,12 @@ type Options struct {
 	// Capacity sets the per-vertex capacity of the capacity processes
 	// (WithCapacity); 0 leaves the default capacity 2.
 	Capacity int `json:"capacity,omitempty"`
+	// Capacities gives every vertex its own capacity (WithCapacities);
+	// empty leaves the scalar Capacity in charge.
+	Capacities []int `json:"capacities,omitempty"`
+	// Batch routes the run through the batched lane scheduler with the
+	// given lane width (WithBatch); 0 keeps the scalar path.
+	Batch int `json:"batch,omitempty"`
 }
 
 // Build renders the JSON options as the equivalent dispersion functional
@@ -116,6 +122,12 @@ func (o Options) Build() []dispersion.Option {
 	}
 	if o.Capacity != 0 {
 		opts = append(opts, dispersion.WithCapacity(o.Capacity))
+	}
+	if len(o.Capacities) > 0 {
+		opts = append(opts, dispersion.WithCapacities(o.Capacities))
+	}
+	if o.Batch != 0 {
+		opts = append(opts, dispersion.WithBatch(o.Batch))
 	}
 	return opts
 }

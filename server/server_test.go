@@ -482,6 +482,20 @@ func TestVariantOptionsRoundTrip(t *testing.T) {
 			},
 			opts: []dispersion.Option{dispersion.WithCapacity(3), dispersion.WithParticles(10)},
 		},
+		{
+			req: server.JobRequest{
+				Process: "sequential", Spec: "wcomplete:16,0.5", Trials: 6, Seed: 13,
+				Options: server.Options{Batch: 4},
+			},
+			opts: []dispersion.Option{dispersion.WithBatch(4)},
+		},
+		{
+			req: server.JobRequest{
+				Process: "capacity", Spec: "path:4", Trials: 6, Seed: 13,
+				Options: server.Options{Capacities: []int{2, 1, 3, 1}},
+			},
+			opts: []dispersion.Option{dispersion.WithCapacities([]int{2, 1, 3, 1})},
+		},
 	}
 	for _, tc := range cases {
 		st := submit(t, ts, tc.req)
@@ -517,6 +531,16 @@ func TestVariantOptionsRoundTrip(t *testing.T) {
 	j, _ := m.Get(st.ID)
 	if final := j.Wait(context.Background()); final.State != server.StateFailed {
 		t.Fatalf("out-of-range settle_param finished %s, want failed", final.State)
+	}
+
+	// A batch request against a process with no batched form fails too.
+	st = submit(t, ts, server.JobRequest{
+		Process: "parallel", Spec: "complete:8", Trials: 1, Seed: 1,
+		Options: server.Options{Batch: 8},
+	})
+	j, _ = m.Get(st.ID)
+	if final := j.Wait(context.Background()); final.State != server.StateFailed {
+		t.Fatalf("batched parallel finished %s, want failed", final.State)
 	}
 }
 
