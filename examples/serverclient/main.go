@@ -40,7 +40,10 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		m := server.NewManager(server.ManagerOptions{})
+		m, err := server.NewManager(server.ManagerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer m.Close()
 		ts := httptest.NewServer(server.New(m))
 		defer ts.Close()

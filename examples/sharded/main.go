@@ -49,7 +49,10 @@ func main() {
 	var servers []string
 	if *serverList == "" {
 		for i := 0; i < 2; i++ {
-			m := server.NewManager(server.ManagerOptions{})
+			m, err := server.NewManager(server.ManagerOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
 			defer m.Close()
 			ts := httptest.NewServer(server.New(m))
 			defer ts.Close()

@@ -47,7 +47,10 @@ func main() {
 
 	base := *serverURL
 	if base == "" {
-		m := server.NewManager(server.ManagerOptions{})
+		m, err := server.NewManager(server.ManagerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer m.Close()
 		ts := httptest.NewServer(server.New(m))
 		defer ts.Close()

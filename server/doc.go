@@ -4,11 +4,12 @@
 //
 // The package has two layers:
 //
-//   - Manager — the transport-independent job manager. It validates and
-//     queues submissions, runs each job on its own context under a
-//     bounded worker pool, buffers results in trial order for resumable
-//     streaming, and optionally persists every job's trials as JSONL
-//     through dispersion/sink.
+//   - Manager — the transport-independent job manager and scheduler. It
+//     validates and admits submissions under per-tenant and global
+//     budgets, dispatches queued jobs by weighted fair share, runs each
+//     job on its own context under a bounded run-slot pool, buffers
+//     results in trial order for resumable streaming, and optionally
+//     persists every job's trials as JSONL through dispersion/sink.
 //
 //   - Server — the HTTP layer (an http.Handler) exposing the v1 API:
 //
@@ -19,10 +20,33 @@
 //     GET    /v1/jobs/{id}/results stream results as NDJSON; ?from=K resumes at line K
 //     DELETE /v1/jobs/{id}         cancel a job
 //     GET    /v1/processes         registered processes and graph-spec kinds
+//     GET    /metrics              control-plane metrics, Prometheus text format
 //     GET    /healthz              liveness probe
 //
 //     The status and results routes also accept ?view=summary, answering
 //     the summary endpoint's body in place of their own.
+//
+// # Control plane
+//
+// Submissions are accounted to a tenant: the value of the X-API-Key
+// request header (APIKeyHeader), or the shared AnonymousTenant without
+// one. Each tenant has a TenantQuota — fair-share weight plus optional
+// caps on queued jobs, running jobs, and resident result-buffer bytes —
+// from ManagerOptions.TenantQuotas or DefaultQuota. Admission control
+// rejects submissions that would exceed a tenant or global budget with a
+// typed *QuotaError, which the HTTP layer maps to 429 Too Many Requests
+// plus a Retry-After header; nothing queues without bound, and queued
+// jobs hold no goroutines (workers start at dispatch). Dispatch is
+// stride scheduling over the per-tenant queues: under contention each
+// tenant's dispatch share converges to its weight's share of the active
+// weights. Within one tenant, jobs run highest priority first
+// (JobRequest.Priority), submission order within a priority; a job with
+// deadline_ms set fails without ever running if it cannot start in
+// time. GET /metrics exposes queue depth, running and resident-byte
+// gauges plus per-tenant submission/terminal-state/trial/rejection/
+// eviction counters in the Prometheus text format, and the ?wait=1
+// summary long-poll is bounded by Server.SummaryMaxWait (non-terminal
+// answers carry Retry-After: 1).
 //
 // Every NDJSON line is a sink.Record: {"trial": i, "result": {...}}.
 // Results are bit-for-bit identical to a direct Engine.Run with the same

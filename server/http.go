@@ -1,22 +1,47 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"dispersion"
 	"dispersion/graphspec"
 	"dispersion/sink"
 )
 
+// APIKeyHeader is the request header that names the submitting tenant
+// for quota accounting and fair-share scheduling. Requests without it
+// are accounted to the shared AnonymousTenant. The header is an
+// identity, not a credential: the server applies quotas per key but does
+// not authenticate keys.
+const APIKeyHeader = "X-API-Key"
+
+// DefaultSummaryMaxWait bounds the ?wait=1 summary long-poll when
+// Server.SummaryMaxWait is zero: a request whose job is still running
+// after this long gets the current snapshot plus a Retry-After hint
+// instead of holding the handler goroutine indefinitely.
+const DefaultSummaryMaxWait = 30 * time.Second
+
 // Server is the HTTP layer over a Manager: an http.Handler serving the
 // /v1 job API documented in the package comment and README.md.
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
+
+	// SummaryMaxWait bounds how long a ?wait=1 summary request may block
+	// before answering with the current (possibly non-terminal) snapshot
+	// and a Retry-After header. 0 means DefaultSummaryMaxWait. Set it
+	// before serving requests.
+	SummaryMaxWait time.Duration
+	// DisableMetrics makes GET /metrics answer 404. Set it before
+	// serving requests.
+	DisableMetrics bool
 }
 
 // New returns a Server over the given manager. The caller keeps ownership
@@ -30,6 +55,7 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/processes", s.processes)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -71,8 +97,11 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	return j, ok
 }
 
-// submit handles POST /v1/jobs: decode, validate, queue, and echo the new
-// job's status with a Location header.
+// submit handles POST /v1/jobs: decode, validate, and queue the request
+// under the tenant named by the X-API-Key header, echoing the new job's
+// status with a Location header. Admission-control rejections answer
+// 429 Too Many Requests with a Retry-After header (in seconds, rounded
+// up) carrying the scheduler's backoff hint.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
@@ -81,9 +110,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "bad job request: %v", err)
 		return
 	}
-	j, err := s.m.Submit(req)
+	j, err := s.m.SubmitAs(r.Header.Get(APIKeyHeader), req)
 	if errors.Is(err, ErrClosed) {
 		fail(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		w.Header().Set("Retry-After", retryAfterSeconds(qe.RetryAfter))
+		fail(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
 	if err != nil {
@@ -92,6 +127,27 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID())
 	writeJSON(w, http.StatusCreated, j.Status())
+}
+
+// retryAfterSeconds renders a backoff hint as a Retry-After header value:
+// integral seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// metrics handles GET /metrics: the manager's control-plane counters in
+// the Prometheus text exposition format (see Manager.WriteMetrics).
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if s.DisableMetrics {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.m.WriteMetrics(w)
 }
 
 // list handles GET /v1/jobs.
@@ -145,10 +201,23 @@ func (s *Server) summary(w http.ResponseWriter, r *http.Request) {
 	s.writeSummary(w, r, j)
 }
 
-// writeSummary renders a job's summary snapshot, honouring ?wait=1.
+// writeSummary renders a job's summary snapshot, honouring ?wait=1. The
+// long-poll is bounded by Server.SummaryMaxWait: a job still running at
+// the bound answers with its current snapshot and a Retry-After: 1
+// header, so a never-finishing job cannot pin handler goroutines — the
+// client polls again instead.
 func (s *Server) writeSummary(w http.ResponseWriter, r *http.Request, j *Job) {
 	if r.URL.Query().Get("wait") == "1" {
-		j.Wait(r.Context())
+		maxWait := s.SummaryMaxWait
+		if maxWait <= 0 {
+			maxWait = DefaultSummaryMaxWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), maxWait)
+		st := j.Wait(ctx)
+		cancel()
+		if !st.State.Terminal() {
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	b, st, err := j.SummaryJSON()
 	if err != nil {

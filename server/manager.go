@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dispersion"
@@ -51,6 +52,18 @@ type JobRequest struct {
 	// (dispersion.Engine.ReuseResults), making the per-trial hot path
 	// allocation-free.
 	SummaryOnly bool `json:"summary_only,omitempty"`
+	// Priority orders the job within its tenant's queue: higher runs
+	// first, ties dispatch in submission order. Priorities never cross
+	// tenants — fair share between tenants is the scheduler's weight
+	// mechanism, priority is a tenant ordering its own backlog. 0 is the
+	// default priority.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds how long the job may wait in the queue, in
+	// milliseconds from submission: a job that has not started by its
+	// deadline fails without ever running, freeing its slot for live
+	// work. 0 means no deadline. The deadline does not bound the
+	// running job — use Options.MaxSteps for that.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Options configure every trial identically.
 	Options Options `json:"options"`
 }
@@ -149,7 +162,7 @@ type State string
 
 // The job lifecycle: Queued -> Running -> one of the three terminal
 // states Done, Failed, or Cancelled. A queued job may move straight to
-// Cancelled.
+// Cancelled (by Cancel or shutdown) or Failed (by its deadline).
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
@@ -171,6 +184,9 @@ type Status struct {
 	ID string `json:"id"`
 	// State is the lifecycle state at snapshot time.
 	State State `json:"state"`
+	// Tenant is the tenant the job is accounted to: the submission's
+	// X-API-Key, or "anonymous".
+	Tenant string `json:"tenant,omitempty"`
 	// Request echoes the accepted submission.
 	Request JobRequest `json:"request"`
 	// Completed is the number of trials finished so far; results with
@@ -180,6 +196,11 @@ type Status struct {
 	// Resident is the number of results currently buffered in memory. It
 	// equals Completed until the buffer is evicted, after which it is 0.
 	Resident int `json:"resident"`
+	// ResidentBytes estimates the heap footprint of the buffered
+	// results; it is the quantity the resident-byte admission budgets
+	// (ManagerOptions.MaxResidentBytes, TenantQuota.MaxResidentBytes)
+	// account against, and drops to 0 on eviction.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 	// Evicted reports that the in-memory result buffer was released after
 	// the job reached a terminal state and its stream was fully consumed
 	// (ManagerOptions.EvictConsumed). Further result reads below
@@ -207,15 +228,26 @@ type Status struct {
 type Job struct {
 	id          string
 	req         JobRequest
+	m           *Manager
+	tenant      *tenant
 	cancel      context.CancelFunc
+	runCtx      context.Context
 	evict       bool // ManagerOptions.EvictConsumed, frozen at submit
 	summaryOnly bool // JobRequest.SummaryOnly, frozen at submit
+	priority    int
+	deadline    time.Time // zero = no queue deadline
+
+	// queued and deadlineTimer belong to the scheduler and are guarded
+	// by Manager.mu, never j.mu.
+	queued        bool
+	deadlineTimer *time.Timer
 
 	mu        sync.Mutex
 	notify    chan struct{} // closed and replaced on every append / state change
 	results   []*dispersion.Result
 	summary   *agg.Summary // fold-as-you-go aggregate, survives eviction
 	count     int          // trials completed, surviving buffer eviction
+	bytes     int64        // estimated resident bytes of results
 	consumed  int          // high-water mark of results delivered via Next
 	retained  int          // active results consumers (Retain/Release)
 	evicted   bool
@@ -229,6 +261,10 @@ type Job struct {
 // ID returns the server-assigned job identifier.
 func (j *Job) ID() string { return j.id }
 
+// submittedAt returns the submission time. It is written once before the
+// job is published, so it needs no lock.
+func (j *Job) submittedAt() time.Time { return j.submitted }
+
 // Status snapshots the job.
 func (j *Job) Status() Status {
 	j.mu.Lock()
@@ -241,9 +277,11 @@ func (j *Job) statusLocked() Status {
 	return Status{
 		ID:               j.id,
 		State:            j.state,
+		Tenant:           j.tenant.name,
 		Request:          j.req,
 		Completed:        j.count,
 		Resident:         len(j.results),
+		ResidentBytes:    j.bytes,
 		Evicted:          j.evicted,
 		SummaryAvailable: j.count > 0,
 		Error:            j.errMsg,
@@ -253,9 +291,17 @@ func (j *Job) statusLocked() Status {
 	}
 }
 
-// Cancel asks the job to stop. It is idempotent; cancelling a terminal
-// job has no effect.
-func (j *Job) Cancel() { j.cancel() }
+// Cancel asks the job to stop. A queued job is removed from its tenant's
+// queue and transitions to cancelled immediately; a running job's
+// context is cancelled and the worker records the terminal state. It is
+// idempotent; cancelling a terminal job has no effect.
+func (j *Job) Cancel() {
+	if j.m != nil && j.m.cancelQueued(j) {
+		j.cancel()
+		return
+	}
+	j.cancel()
+}
 
 // broadcast wakes every waiter. Callers must hold j.mu.
 func (j *Job) broadcast() {
@@ -265,15 +311,21 @@ func (j *Job) broadcast() {
 
 // append records one completed trial, in order: the result is folded
 // into the job's summary and, unless the job is summary-only, buffered
-// for the results stream. Summary-only jobs run under
-// Engine.ReuseResults, so res must not be retained for them.
+// for the results stream (charging its estimated bytes to the job's
+// tenant and the manager's global resident budget). Summary-only jobs
+// run under Engine.ReuseResults, so res must not be retained for them.
 func (j *Job) append(res *dispersion.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.summary.Add(res)
 	if !j.summaryOnly {
 		j.results = append(j.results, res)
+		sz := resultBytes(res)
+		j.bytes += sz
+		j.tenant.resident.Add(sz)
+		j.m.resident.Add(sz)
 	}
+	j.tenant.trials.Add(1)
 	j.count++
 	j.broadcast()
 }
@@ -326,11 +378,18 @@ func (j *Job) MarkConsumed(from, to int) {
 }
 
 // maybeEvictLocked drops the result buffer when the eviction conditions
-// hold. Callers must hold j.mu.
+// hold, refunding its bytes to the tenant and global resident budgets.
+// Callers must hold j.mu.
 func (j *Job) maybeEvictLocked() {
 	if j.evict && !j.evicted && j.retained == 0 && j.state.Terminal() && j.consumed == j.count {
 		j.results = nil
 		j.evicted = true
+		if j.bytes > 0 {
+			j.tenant.resident.Add(-j.bytes)
+			j.m.resident.Add(-j.bytes)
+			j.bytes = 0
+		}
+		j.tenant.evictions.Add(1)
 	}
 }
 
@@ -416,7 +475,9 @@ type ManagerOptions struct {
 	EngineWorkers int
 	// ResultsDir, when non-empty, makes the manager persist every job's
 	// trials to <ResultsDir>/<job id>.jsonl through a dispersion/sink
-	// JSONL writer as they complete.
+	// JSONL writer as they complete. NewManager probes the directory for
+	// writability so a misconfigured path fails at construction, not at
+	// the first job's expense.
 	ResultsDir string
 	// EvictConsumed bounds the memory of long-lived servers: once a job
 	// is terminal, its results stream has been consumed through the final
@@ -427,40 +488,92 @@ type ManagerOptions struct {
 	// the historical contract keeps results for the job's lifetime so
 	// completed streams can be re-read at will.
 	EvictConsumed bool
+	// MaxQueued caps the total number of queued jobs across all tenants;
+	// submissions beyond it are rejected with a QuotaError (HTTP 429).
+	// 0 means DefaultMaxQueued.
+	MaxQueued int
+	// MaxResidentBytes caps the estimated bytes of completed results
+	// buffered in memory across all tenants; once at or above it,
+	// submissions are rejected with a QuotaError until streams are
+	// consumed (and, with EvictConsumed, evicted). 0 means no global
+	// byte budget.
+	MaxResidentBytes int64
+	// DefaultQuota applies to every tenant without an entry in
+	// TenantQuotas. The zero value means weight 1 and no per-tenant
+	// caps.
+	DefaultQuota TenantQuota
+	// TenantQuotas assigns specific tenants (API keys) their own quotas
+	// and fair-share weights.
+	TenantQuotas map[string]TenantQuota
+	// RetryAfter is the backoff hint attached to admission rejections
+	// (the HTTP Retry-After header). 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Logf, when set, receives structured (key=value) scheduler and
+	// lifecycle logs: admissions, rejections, dispatches, deadline
+	// expiries, and terminal transitions. log.Printf is a suitable
+	// value.
+	Logf func(format string, args ...any)
 }
 
 // ErrClosed is returned by Submit once Close has begun; the HTTP layer
 // maps it to 503.
 var ErrClosed = errors.New("server: manager is shutting down")
 
-// Manager owns the job table and the worker pool. Create one with
+// Manager owns the job table and the scheduler. Create one with
 // NewManager and shut it down with Close.
+//
+// Scheduling model: every job belongs to a tenant (its API key, or the
+// shared "anonymous" tenant) and waits in that tenant's queue — ordered
+// by priority, then submission — until the stride scheduler dispatches
+// it. Tenants with queued work are served in proportion to their
+// TenantQuota.Weight; admission control rejects submissions that would
+// exceed queue or resident-byte budgets with a typed QuotaError instead
+// of queuing without bound. Queued jobs consume no goroutines: workers
+// are started at dispatch, so a submission flood costs O(1) goroutines
+// regardless of backlog depth.
 type Manager struct {
-	opts    ManagerOptions
-	runID   string
-	baseCtx context.Context
-	stop    context.CancelFunc
-	sem     chan struct{}
-	wg      sync.WaitGroup
+	opts     ManagerOptions
+	runID    string
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+	resident atomic.Int64 // estimated resident result bytes, all tenants
 
-	mu     sync.Mutex
-	closed bool
-	nextID int
-	jobs   map[string]*Job
-	order  []string
+	mu          sync.Mutex
+	closed      bool
+	nextID      int
+	jobs        map[string]*Job
+	order       []string
+	tenants     map[string]*tenant
+	tenantOrder []string
+	queued      int    // jobs waiting across all tenant queues
+	running     int    // jobs currently executing
+	vtime       uint64 // scheduler virtual time: pass of the last dispatch
 }
 
-// NewManager returns a running manager with the given options.
-func NewManager(opts ManagerOptions) *Manager {
+// NewManager returns a running manager with the given options. When
+// ResultsDir is set, the directory is probed for writability so a
+// misconfigured archive path fails fast here instead of failing every
+// job at run time.
+func NewManager(opts ManagerOptions) (*Manager, error) {
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = 2
+	}
+	if opts.ResultsDir != "" {
+		f, err := os.CreateTemp(opts.ResultsDir, ".probe-*")
+		if err != nil {
+			return nil, fmt.Errorf("server: results dir %q not writable: %w", opts.ResultsDir, err)
+		}
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
 	}
 	// Job IDs embed a per-manager random run component so a restarted
 	// server never reuses an ID — and never truncates a previous run's
 	// JSONL archive in the same ResultsDir.
 	var buf [3]byte
 	if _, err := rand.Read(buf[:]); err != nil {
-		panic("server: no entropy for run id: " + err.Error())
+		return nil, fmt.Errorf("server: no entropy for run id: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
@@ -468,45 +581,75 @@ func NewManager(opts ManagerOptions) *Manager {
 		runID:   hex.EncodeToString(buf[:]),
 		baseCtx: ctx,
 		stop:    cancel,
-		sem:     make(chan struct{}, opts.MaxConcurrent),
 		jobs:    map[string]*Job{},
-	}
+		tenants: map[string]*tenant{},
+	}, nil
 }
 
-// Submit validates the request and, if it is well-formed, queues it for
-// execution, returning the new job. Validation failures are reported
-// synchronously and leave no job behind; after Close has begun it
-// reports ErrClosed.
+// Submit queues a request for the shared anonymous tenant. It is
+// SubmitAs with an empty API key — see SubmitAs for the admission and
+// scheduling contract.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	return m.SubmitAs("", req)
+}
+
+// SubmitAs validates the request and, if it is well-formed and within
+// the tenant's and the server's admission budgets, queues it for
+// fair-share dispatch, returning the new job. The tenant is the
+// submission's API key; an empty key is accounted to the shared
+// AnonymousTenant. Validation failures are reported synchronously and
+// leave no job behind; budget exhaustion returns a *QuotaError (mapped
+// to 429 + Retry-After by the HTTP layer); after Close has begun it
+// reports ErrClosed.
+func (m *Manager) SubmitAs(tenantName string, req JobRequest) (*Job, error) {
 	if err := req.job().Validate(); err != nil {
 		return nil, err
 	}
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("server: deadline_ms must be non-negative, got %d", req.DeadlineMS)
+	}
+	name := normalizeTenant(tenantName)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
 		req:         req,
+		m:           m,
 		cancel:      cancel,
+		runCtx:      ctx,
 		evict:       m.opts.EvictConsumed,
 		summaryOnly: req.SummaryOnly,
+		priority:    req.Priority,
 		notify:      make(chan struct{}),
 		summary:     agg.NewSummary(),
 		state:       StateQueued,
 		submitted:   time.Now(),
 	}
+	if req.DeadlineMS > 0 {
+		j.deadline = j.submitted.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
-		m.mu.Unlock()
 		cancel()
 		return nil, ErrClosed
 	}
+	t := m.tenantLocked(name)
+	if err := m.admitLocked(t); err != nil {
+		cancel()
+		return nil, err
+	}
 	m.nextID++
 	j.id = fmt.Sprintf("j%s-%06d", m.runID, m.nextID)
+	j.tenant = t
+	t.submitted++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
-	// Registering with the WaitGroup under the same lock that Close uses
-	// to set closed keeps Add happens-before Wait.
-	m.wg.Add(1)
-	m.mu.Unlock()
-	go m.run(ctx, j)
+	m.enqueueLocked(j)
+	if !j.deadline.IsZero() {
+		j.deadlineTimer = time.AfterFunc(time.Until(j.deadline), func() { m.expireJob(j) })
+	}
+	m.logf("evt=admit tenant=%s job=%s priority=%d deadline_ms=%d queued=%d",
+		t.name, j.id, j.priority, req.DeadlineMS, m.queued)
+	m.dispatchLocked()
 	return j, nil
 }
 
@@ -533,30 +676,39 @@ func (m *Manager) List() []Status {
 	return out
 }
 
-// Close rejects further submissions, cancels every job, and waits for
-// all workers to exit (so configured JSONL archives are complete when it
-// returns).
+// Close rejects further submissions, cancels every queued and running
+// job, and waits for all workers to exit (so configured JSONL archives
+// are complete when it returns).
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
+	// Queued jobs have no goroutine to observe the context: cancel them
+	// here, under the same lock that fences dispatch.
+	for _, t := range m.tenants {
+		for _, j := range t.queue {
+			j.queued = false
+			if j.deadlineTimer != nil {
+				j.deadlineTimer.Stop()
+			}
+			t.cancelled++
+			j.setState(StateCancelled, "")
+			j.cancel()
+		}
+		t.queue = nil
+	}
+	m.queued = 0
 	m.mu.Unlock()
 	m.stop()
 	m.wg.Wait()
 }
 
-// run executes one job: wait for a worker slot, stream trials into the
-// job buffer (and the JSONL archive, if configured), and record the
-// terminal state.
+// run executes one dispatched job: stream trials into the job buffer
+// (and the JSONL archive, if configured), record the terminal state, and
+// hand the freed slot back to the scheduler.
 func (m *Manager) run(ctx context.Context, j *Job) {
 	defer m.wg.Done()
 	defer j.cancel()
-	select {
-	case m.sem <- struct{}{}:
-		defer func() { <-m.sem }()
-	case <-ctx.Done():
-		j.setState(StateCancelled, "")
-		return
-	}
+	defer m.finishJob(j)
 	if ctx.Err() != nil {
 		j.setState(StateCancelled, "")
 		return

@@ -1,0 +1,375 @@
+package server
+
+// scheduler.go is the manager's control plane: per-tenant accounting
+// keyed by API key, admission control with typed rejections, and
+// weighted fair-share (stride) dispatch over per-tenant queues. The
+// Manager's job table and lifecycle live in manager.go; everything that
+// decides WHO runs WHEN — and who is told to come back later — lives
+// here.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dispersion"
+)
+
+// AnonymousTenant is the tenant every submission without an API key is
+// accounted to. All anonymous clients share its quotas.
+const AnonymousTenant = "anonymous"
+
+// DefaultMaxQueued is the global queued-job backlog bound applied when
+// ManagerOptions.MaxQueued is zero. A bounded default is deliberate: the
+// historical manager queued without limit, so a submission flood grew
+// the job table (and one parked goroutine per job) until the process
+// died.
+const DefaultMaxQueued = 1024
+
+// DefaultRetryAfter is the Retry-After hint attached to admission
+// rejections when ManagerOptions.RetryAfter is zero.
+const DefaultRetryAfter = time.Second
+
+// strideScale is the stride numerator: a tenant of weight w advances its
+// pass by strideScale/w per dispatched job, so relative dispatch rates
+// converge to the weight ratios.
+const strideScale = 1 << 16
+
+// TenantQuota caps one tenant's footprint on the server and sets its
+// fair-share weight. The zero value means: weight 1 and no per-tenant
+// caps (the manager's global budgets still apply).
+type TenantQuota struct {
+	// Weight is the tenant's fair-share weight: under contention a
+	// tenant's dispatch (and, with equal job sizes, completed-trial)
+	// share converges to Weight over the sum of active tenants' weights.
+	// 0 means 1.
+	Weight int
+	// MaxQueued caps how many of the tenant's jobs may wait in its queue
+	// at once; further submissions are rejected with a QuotaError.
+	// 0 means no per-tenant cap.
+	MaxQueued int
+	// MaxRunning caps how many of the tenant's jobs may run
+	// simultaneously, regardless of free global slots. 0 means no
+	// per-tenant cap (the global MaxConcurrent still applies).
+	MaxRunning int
+	// MaxResidentBytes caps the estimated bytes of completed results the
+	// tenant may keep buffered in memory; once at or above it, further
+	// submissions are rejected until streams are consumed (and, with
+	// EvictConsumed, evicted). 0 means no per-tenant cap.
+	MaxResidentBytes int64
+}
+
+// weight returns the effective stride weight.
+func (q TenantQuota) weight() uint64 {
+	if q.Weight > 0 {
+		return uint64(q.Weight)
+	}
+	return 1
+}
+
+// Admission-rejection reasons, as reported by QuotaError.Reason and the
+// "reason" label of the dispersion_admission_rejected_total metric
+// (prefixed there by the scope, e.g. "tenant-queue-full").
+const (
+	// ReasonQueueFull reports a queued-job budget (global MaxQueued or
+	// TenantQuota.MaxQueued) at capacity.
+	ReasonQueueFull = "queue-full"
+	// ReasonResidentBytes reports a resident result-buffer byte budget
+	// (global MaxResidentBytes or TenantQuota.MaxResidentBytes) at
+	// capacity.
+	ReasonResidentBytes = "resident-bytes"
+)
+
+// QuotaError is the typed admission-control rejection returned by Submit
+// and SubmitAs when a global or per-tenant budget is exhausted. The HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After header; a
+// well-behaved client (dispersion/shard honours this) backs off for
+// RetryAfter instead of hammering the server or burning its retry
+// budget.
+type QuotaError struct {
+	// Tenant is the tenant the rejected submission was accounted to.
+	Tenant string
+	// Scope is "global" for a server-wide budget, "tenant" for one of
+	// the tenant's own quotas.
+	Scope string
+	// Reason is ReasonQueueFull or ReasonResidentBytes.
+	Reason string
+	// Limit is the budget that was exhausted (jobs or bytes, per
+	// Reason).
+	Limit int64
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+// Error renders the rejection with its scope, limit, and backoff hint.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("server: %s %s budget exhausted for tenant %q (limit %d): retry after %s",
+		e.Scope, e.Reason, e.Tenant, e.Limit, e.RetryAfter)
+}
+
+// tenant is the scheduler's per-API-key accounting record. Queue, pass,
+// run counts and the plain counters are guarded by Manager.mu; the
+// atomics are updated from job callbacks that must not take it.
+type tenant struct {
+	name    string
+	quota   TenantQuota
+	pass    uint64 // stride pass: the eligible tenant with the lowest runs next
+	queue   []*Job // waiting jobs: priority desc, then submission order
+	running int
+
+	resident  atomic.Int64 // estimated buffered result bytes
+	trials    atomic.Int64 // completed trials, across all jobs
+	evictions atomic.Int64 // result buffers dropped by EvictConsumed
+
+	submitted int64
+	done      int64
+	failed    int64
+	cancelled int64
+	expired   int64 // queued jobs failed by their deadline
+	rejected  map[string]int64
+}
+
+// normalizeTenant maps the empty API key to the shared anonymous tenant.
+func normalizeTenant(name string) string {
+	if name == "" {
+		return AnonymousTenant
+	}
+	return name
+}
+
+// tenantLocked returns the named tenant's record, creating it (with its
+// configured or default quota) on first use. Callers hold m.mu.
+func (m *Manager) tenantLocked(name string) *tenant {
+	if t, ok := m.tenants[name]; ok {
+		return t
+	}
+	q := m.opts.DefaultQuota
+	if tq, ok := m.opts.TenantQuotas[name]; ok {
+		q = tq
+	}
+	t := &tenant{name: name, quota: q, rejected: map[string]int64{}}
+	m.tenants[name] = t
+	m.tenantOrder = append(m.tenantOrder, name)
+	return t
+}
+
+// retryAfter returns the configured admission backoff hint.
+func (m *Manager) retryAfter() time.Duration {
+	if m.opts.RetryAfter > 0 {
+		return m.opts.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// maxQueued returns the effective global queued-job bound.
+func (m *Manager) maxQueued() int {
+	if m.opts.MaxQueued > 0 {
+		return m.opts.MaxQueued
+	}
+	return DefaultMaxQueued
+}
+
+// admitLocked applies every admission budget to a submission for t and
+// returns the QuotaError to reject it with, or nil to admit. Callers
+// hold m.mu.
+func (m *Manager) admitLocked(t *tenant) error {
+	reject := func(scope, reason string, limit int64) error {
+		t.rejected[scope+"-"+reason]++
+		m.logf("evt=reject tenant=%s scope=%s reason=%s limit=%d", t.name, scope, reason, limit)
+		return &QuotaError{
+			Tenant: t.name, Scope: scope, Reason: reason,
+			Limit: limit, RetryAfter: m.retryAfter(),
+		}
+	}
+	if gq := m.maxQueued(); m.queued >= gq {
+		return reject("global", ReasonQueueFull, int64(gq))
+	}
+	if q := t.quota.MaxQueued; q > 0 && len(t.queue) >= q {
+		return reject("tenant", ReasonQueueFull, int64(q))
+	}
+	if b := m.opts.MaxResidentBytes; b > 0 && m.resident.Load() >= b {
+		return reject("global", ReasonResidentBytes, b)
+	}
+	if b := t.quota.MaxResidentBytes; b > 0 && t.resident.Load() >= b {
+		return reject("tenant", ReasonResidentBytes, b)
+	}
+	return nil
+}
+
+// enqueueLocked inserts j into its tenant's queue keeping the dispatch
+// order: higher priority first, submission order within a priority. A
+// tenant whose queue was empty has its pass floored to the scheduler's
+// virtual time, so idle periods never accumulate dispatch credit.
+// Callers hold m.mu.
+func (m *Manager) enqueueLocked(j *Job) {
+	t := j.tenant
+	if len(t.queue) == 0 && t.pass < m.vtime {
+		t.pass = m.vtime
+	}
+	i := len(t.queue)
+	for i > 0 && t.queue[i-1].priority < j.priority {
+		i--
+	}
+	t.queue = append(t.queue, nil)
+	copy(t.queue[i+1:], t.queue[i:])
+	t.queue[i] = j
+	j.queued = true
+	m.queued++
+}
+
+// removeQueuedLocked takes j out of its tenant's queue; it reports false
+// when the job is not queued (already dispatched, expired, or
+// cancelled). Callers hold m.mu.
+func (m *Manager) removeQueuedLocked(j *Job) bool {
+	if !j.queued {
+		return false
+	}
+	t := j.tenant
+	for i, q := range t.queue {
+		if q == j {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			break
+		}
+	}
+	j.queued = false
+	m.queued--
+	if j.deadlineTimer != nil {
+		j.deadlineTimer.Stop()
+	}
+	return true
+}
+
+// nextTenantLocked picks the dispatch-eligible tenant with the lowest
+// stride pass (ties broken by first-use order, keeping the scan
+// deterministic), or nil when nothing can run. Callers hold m.mu.
+func (m *Manager) nextTenantLocked() *tenant {
+	var best *tenant
+	for _, name := range m.tenantOrder {
+		t := m.tenants[name]
+		if len(t.queue) == 0 {
+			continue
+		}
+		if r := t.quota.MaxRunning; r > 0 && t.running >= r {
+			continue
+		}
+		if best == nil || t.pass < best.pass {
+			best = t
+		}
+	}
+	return best
+}
+
+// dispatchLocked fills free run slots: repeatedly pick the fair-share
+// tenant, pop the head of its queue, and start the job's worker
+// goroutine. Queued jobs whose deadline has passed are failed here
+// without ever running (the per-job expiry timer is the primary
+// mechanism; this is the backstop for timers that lag the clock).
+// Callers hold m.mu.
+func (m *Manager) dispatchLocked() {
+	for m.running < m.opts.MaxConcurrent {
+		t := m.nextTenantLocked()
+		if t == nil {
+			return
+		}
+		j := t.queue[0]
+		m.removeQueuedLocked(j)
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			m.expireLocked(j)
+			continue
+		}
+		m.vtime = t.pass
+		t.pass += strideScale / t.quota.weight()
+		t.running++
+		m.running++
+		// Registering with the WaitGroup under m.mu keeps Add
+		// happens-before Close's Wait: Close drains the queues under the
+		// same lock before waiting.
+		m.wg.Add(1)
+		m.logf("evt=dispatch tenant=%s job=%s priority=%d queued=%d", t.name, j.id, j.priority, m.queued)
+		go m.run(j.runCtx, j)
+	}
+}
+
+// expireLocked fails a job (already removed from its queue) whose
+// deadline passed before it could start. Callers hold m.mu.
+func (m *Manager) expireLocked(j *Job) {
+	t := j.tenant
+	t.expired++
+	t.failed++
+	m.logf("evt=deadline_expired tenant=%s job=%s waited=%s", t.name, j.id, time.Since(j.submittedAt()))
+	j.setState(StateFailed, fmt.Sprintf("deadline exceeded before start (deadline_ms=%d)", j.req.DeadlineMS))
+	j.cancel()
+}
+
+// expireJob is the deadline timer callback: if the job is still queued
+// when its deadline fires, it is failed without ever running.
+func (m *Manager) expireJob(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.removeQueuedLocked(j) {
+		return
+	}
+	m.expireLocked(j)
+}
+
+// cancelQueued removes a still-queued job on Cancel, transitioning it to
+// cancelled directly (a queued job has no goroutine watching its
+// context). It reports whether the job was dequeued.
+func (m *Manager) cancelQueued(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.removeQueuedLocked(j) {
+		return false
+	}
+	j.tenant.cancelled++
+	m.logf("evt=cancel_queued tenant=%s job=%s", j.tenant.name, j.id)
+	j.setState(StateCancelled, "")
+	return true
+}
+
+// finishJob retires a finished worker: release the run slot, count the
+// terminal state, and dispatch whatever the freed slot admits.
+func (m *Manager) finishJob(j *Job) {
+	st := j.Status()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.tenant.running--
+	switch st.State {
+	case StateDone:
+		j.tenant.done++
+	case StateFailed:
+		j.tenant.failed++
+	case StateCancelled:
+		j.tenant.cancelled++
+	}
+	m.logf("evt=finish tenant=%s job=%s state=%s completed=%d", j.tenant.name, j.id, st.State, st.Completed)
+	m.dispatchLocked()
+}
+
+// resultBytes estimates the resident heap footprint of one buffered
+// result: the struct itself plus its slice payloads. It is an
+// accounting estimate for admission control, not an exact heap
+// measurement.
+func resultBytes(res *dispersion.Result) int64 {
+	const structOverhead = 200 // Result struct + interior pointers, rounded up
+	const sliceHeader = 24
+	n := int64(structOverhead)
+	n += int64(len(res.Steps)) * 8
+	n += int64(len(res.SettledAt)) * 4
+	n += int64(len(res.SettleOrder)) * 4
+	n += int64(len(res.SettleClock)) * 8
+	n += int64(len(res.SettleTimes)) * 8
+	for _, tr := range res.Trajectories {
+		n += sliceHeader + int64(len(tr))*4
+	}
+	return n
+}
+
+// logf emits a structured (key=value) control-plane log line through
+// ManagerOptions.Logf, if configured.
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}

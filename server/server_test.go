@@ -26,7 +26,10 @@ import (
 // down with the test.
 func newServer(t *testing.T, opts server.ManagerOptions) (*httptest.Server, *server.Manager) {
 	t.Helper()
-	m := server.NewManager(opts)
+	m, err := server.NewManager(opts)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
 	ts := httptest.NewServer(server.New(m))
 	t.Cleanup(func() {
 		ts.Close()
@@ -548,7 +551,10 @@ func TestVariantOptionsRoundTrip(t *testing.T) {
 // of racing the shutdown, and job IDs are unique across manager
 // restarts so JSONL archives are never truncated by a new run.
 func TestCloseFenceAndRestartUniqueIDs(t *testing.T) {
-	m1 := server.NewManager(server.ManagerOptions{})
+	m1, err := server.NewManager(server.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	j1, err := m1.Submit(server.JobRequest{Process: "parallel", Spec: "complete:8", Trials: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -558,7 +564,10 @@ func TestCloseFenceAndRestartUniqueIDs(t *testing.T) {
 		t.Errorf("Submit after Close = %v, want ErrClosed", err)
 	}
 
-	m2 := server.NewManager(server.ManagerOptions{})
+	m2, err := server.NewManager(server.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer m2.Close()
 	j2, err := m2.Submit(server.JobRequest{Process: "parallel", Spec: "complete:8", Trials: 1})
 	if err != nil {

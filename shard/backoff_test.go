@@ -1,0 +1,100 @@
+package shard
+
+// backoff_test.go unit-tests the coordinator's retry pacing: jitter
+// bounds and decorrelation, throttle-wait clamping, and Retry-After
+// parsing. The end-to-end 429 path is covered from outside the package
+// in throttle_test.go.
+
+import (
+	"testing"
+	"time"
+)
+
+// Jittered backoff must stay inside [base/2, base) of the exponential
+// ladder, and two coordinators with different seeds must produce
+// different schedules — the decorrelation that keeps K shard followers
+// of one recovering server from retrying in lockstep.
+func TestJitteredBackoffDecorrelates(t *testing.T) {
+	c1 := &Coordinator{JitterSeed: 1}
+	c2 := &Coordinator{JitterSeed: 2}
+	rng1, rng2 := c1.shardRNG(0), c2.shardRNG(0)
+
+	const rounds = 8
+	var s1, s2 [rounds]time.Duration
+	differ := false
+	for fails := 1; fails <= rounds; fails++ {
+		base := min(250*time.Millisecond<<(fails-1), 5*time.Second)
+		s1[fails-1] = jitteredBackoff(rng1, fails)
+		s2[fails-1] = jitteredBackoff(rng2, fails)
+		for i, d := range []time.Duration{s1[fails-1], s2[fails-1]} {
+			if d < base/2 || d >= base {
+				t.Errorf("coordinator %d, fails=%d: backoff %v outside [%v, %v)", i+1, fails, d, base/2, base)
+			}
+		}
+		if s1[fails-1] != s2[fails-1] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Errorf("two differently-seeded coordinators produced identical schedules %v", s1)
+	}
+
+	// Same seed, same shard: the schedule is reproducible.
+	r1, r2 := c1.shardRNG(3), (&Coordinator{JitterSeed: 1}).shardRNG(3)
+	for fails := 1; fails <= rounds; fails++ {
+		if a, b := jitteredBackoff(r1, fails), jitteredBackoff(r2, fails); a != b {
+			t.Fatalf("same seed diverged at fails=%d: %v vs %v", fails, a, b)
+		}
+	}
+}
+
+// Distinct shards of one coordinator must also jitter independently.
+func TestShardRNGsIndependent(t *testing.T) {
+	c := &Coordinator{JitterSeed: 7}
+	rng0, rng1 := c.shardRNG(0), c.shardRNG(1)
+	same := true
+	for fails := 1; fails <= 8; fails++ {
+		if jitteredBackoff(rng0, fails) != jitteredBackoff(rng1, fails) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("shards 0 and 1 produced identical jitter schedules")
+	}
+}
+
+// Throttle waits must obey the clamp regardless of the server's hint.
+func TestThrottleWaitBounds(t *testing.T) {
+	rng := (&Coordinator{JitterSeed: 1}).shardRNG(0)
+	for _, hint := range []time.Duration{0, time.Millisecond, time.Second, time.Hour} {
+		for i := 0; i < 100; i++ {
+			d := throttleWait(rng, hint)
+			if d < minThrottleWait {
+				t.Fatalf("throttleWait(%v) = %v, below the %v floor", hint, d, minThrottleWait)
+			}
+			if limit := maxThrottleWait + maxThrottleWait/2; d > limit {
+				t.Fatalf("throttleWait(%v) = %v, above the jittered %v ceiling", hint, d, limit)
+			}
+		}
+	}
+}
+
+// parseRetryAfter reads whole seconds and defaults to 1s otherwise.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"0", 0},
+		{"", time.Second},
+		{"soon", time.Second},
+		{"-2", time.Second},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

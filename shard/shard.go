@@ -42,6 +42,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"dispersion"
@@ -71,8 +72,19 @@ type Coordinator struct {
 	Client *http.Client
 	// Retries caps the consecutive attempts a shard makes without
 	// delivering a single new result before the run is abandoned;
-	// attempts that make progress reset the budget. 0 means 5.
+	// attempts that make progress reset the budget. 0 means 5. 429
+	// admission-control rejections do not consume this budget: the
+	// coordinator obeys the server's Retry-After hint on a separate,
+	// larger throttle budget.
 	Retries int
+	// JitterSeed seeds the backoff jitter deterministically; 0 (the
+	// default) draws a random seed, which is what decorrelates the retry
+	// schedules of independent coordinators hitting one recovering
+	// server. Set it only to make retry timing reproducible in tests.
+	JitterSeed uint64
+
+	seedOnce sync.Once
+	seed     uint64
 }
 
 // trialRange is one shard's slice [first, first+trials) of the logical
@@ -246,12 +258,14 @@ var errJobGone = errors.New("job no longer exists on its server")
 // Results are pushed into ch in trial order.
 func (c *Coordinator) runShard(ctx context.Context, idx int, rg trialRange, req server.JobRequest, ch chan<- dispersion.Trial) (err error) {
 	var (
-		done     int    // trials of this shard already pushed into ch
-		jobURL   string // active job, "" when a (re)submit is needed
-		streamed int    // result lines already consumed from the active job
-		fails    int    // consecutive attempts with no progress
-		lastErr  error
+		done      int    // trials of this shard already pushed into ch
+		jobURL    string // active job, "" when a (re)submit is needed
+		streamed  int    // result lines already consumed from the active job
+		fails     int    // consecutive attempts with no progress
+		throttles int    // consecutive 429-throttled submissions
+		lastErr   error
 	)
+	rng := c.shardRNG(idx)
 	// An abandoned exit leaves the active job computing a range nobody
 	// will ever consume; cancel it so the server stops burning cores.
 	defer func() {
@@ -269,10 +283,11 @@ func (c *Coordinator) runShard(ctx context.Context, idx int, rg trialRange, req 
 		if fails > 0 {
 			// Back off after a no-progress attempt so a brief outage — a
 			// server restart, say — does not burn the whole retry budget
-			// in microseconds.
-			backoff := min(250*time.Millisecond<<(fails-1), 5*time.Second)
+			// in microseconds. The wait is jittered so K followers of one
+			// recovering server spread out instead of retrying in
+			// lockstep.
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jitteredBackoff(rng, fails)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -283,11 +298,26 @@ func (c *Coordinator) runShard(ctx context.Context, idx int, rg trialRange, req 
 			shardReq.Trials = rg.trials - done
 			base := c.Servers[(idx+attempt)%len(c.Servers)]
 			st, err := c.submit(ctx, base, shardReq)
+			var te *throttleError
+			if errors.As(err, &te) && throttles < maxThrottles {
+				// Admission control shed the job: the server is healthy
+				// and pacing us, so obey its Retry-After hint without
+				// consuming the no-progress retry budget.
+				throttles++
+				lastErr = err
+				select {
+				case <-time.After(throttleWait(rng, te.retryAfter)):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				continue
+			}
 			if err != nil {
 				lastErr = err
 				fails++
 				continue
 			}
+			throttles = 0
 			jobURL = strings.TrimSuffix(base, "/") + "/v1/jobs/" + st.ID
 			streamed = 0
 		}
@@ -360,6 +390,14 @@ func (c *Coordinator) submit(ctx context.Context, base string, req server.JobReq
 		return server.Status{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return server.Status{}, &throttleError{
+			server:     base,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			msg:        string(bytes.TrimSpace(msg)),
+		}
+	}
 	if resp.StatusCode != http.StatusCreated {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return server.Status{}, fmt.Errorf("submit to %s: HTTP %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))

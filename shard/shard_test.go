@@ -26,7 +26,10 @@ func newServers(t *testing.T, n int) []string {
 	t.Helper()
 	urls := make([]string, n)
 	for i := range urls {
-		m := server.NewManager(server.ManagerOptions{MaxConcurrent: 8})
+		m, err := server.NewManager(server.ManagerOptions{MaxConcurrent: 8})
+		if err != nil {
+			t.Fatalf("NewManager: %v", err)
+		}
 		ts := httptest.NewServer(server.New(m))
 		t.Cleanup(func() {
 			ts.Close()
@@ -280,7 +283,10 @@ func (w *cutWriter) Flush() {
 // the same job with ?from=, with no gaps, duplicates, or recomputation
 // visible to the caller.
 func TestRetryReconnectsDroppedStream(t *testing.T) {
-	m := server.NewManager(server.ManagerOptions{})
+	m, err := server.NewManager(server.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(&cutOnce{inner: server.New(m), cutAfter: 4})
 	t.Cleanup(func() {
 		ts.Close()
@@ -300,7 +306,10 @@ func TestRetryResubmitsDeadJob(t *testing.T) {
 	// A single engine worker and a few thousand trials keep the job
 	// running for a long, comfortable window, so the cancel below cannot
 	// race its completion.
-	m := server.NewManager(server.ManagerOptions{EngineWorkers: 1})
+	m, err := server.NewManager(server.ManagerOptions{EngineWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(server.New(m))
 	t.Cleanup(func() {
 		ts.Close()
@@ -364,7 +373,10 @@ func (f failTrailer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // terminal label the job ends with: no zero-trial resubmission, no
 // retry exhaustion, just the full result set.
 func TestFullyDeliveredShardSurvivesFailedLabel(t *testing.T) {
-	m := server.NewManager(server.ManagerOptions{})
+	m, err := server.NewManager(server.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(failTrailer{inner: server.New(m)})
 	t.Cleanup(func() {
 		ts.Close()

@@ -144,8 +144,10 @@ func (c *Coordinator) runShardSummary(ctx context.Context, idx int, rg trialRang
 		jobURL    string
 		completed int // latest observed completed-trial count
 		fails     int
+		throttles int // consecutive 429-throttled submissions
 		lastErr   error
 	)
+	rng := c.shardRNG(idx)
 	defer func() {
 		if err != nil && jobURL != "" {
 			c.cancelJob(jobURL)
@@ -159,9 +161,8 @@ func (c *Coordinator) runShardSummary(ctx context.Context, idx int, rg trialRang
 			return nil, fmt.Errorf("no progress after %d attempts: %w", fails, lastErr)
 		}
 		if fails > 0 {
-			backoff := min(250*time.Millisecond<<(fails-1), 5*time.Second)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jitteredBackoff(rng, fails)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -172,11 +173,25 @@ func (c *Coordinator) runShardSummary(ctx context.Context, idx int, rg trialRang
 			shardReq.Trials = rg.trials
 			base := c.Servers[(idx+attempt)%len(c.Servers)]
 			st, err := c.submit(ctx, base, shardReq)
+			var te *throttleError
+			if errors.As(err, &te) && throttles < maxThrottles {
+				// Obey the server's 429 Retry-After pacing on the throttle
+				// budget, not the no-progress retry budget (see runShard).
+				throttles++
+				lastErr = err
+				select {
+				case <-time.After(throttleWait(rng, te.retryAfter)):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				continue
+			}
 			if err != nil {
 				lastErr = err
 				fails++
 				continue
 			}
+			throttles = 0
 			jobURL = strings.TrimSuffix(base, "/") + "/v1/jobs/" + st.ID
 			completed = 0
 		}
